@@ -1,0 +1,53 @@
+//! Criterion benchmarks of individual compiler stages: mapping, routing
+//! and full compilation, plus OpenQASM parsing.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qccd_circuit::{generators, qasm};
+use qccd_compiler::{compile, initial_map, CompilerConfig};
+use qccd_device::{presets, TrapId};
+
+fn bench_mapping(c: &mut Criterion) {
+    let circuit = generators::qft(64);
+    let device = presets::l6(20);
+    c.bench_function("initial_map/qft64_l6", |b| {
+        b.iter(|| initial_map(&circuit, &device, 2).expect("fits"));
+    });
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let linear = presets::l6(20);
+    let grid = presets::g2x3(20);
+    c.bench_function("route/l6_end_to_end", |b| {
+        b.iter(|| linear.route(TrapId(0), TrapId(5)).expect("connected"));
+    });
+    c.bench_function("route/g2x3_diagonal", |b| {
+        b.iter(|| grid.route(TrapId(0), TrapId(5)).expect("connected"));
+    });
+}
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile");
+    group.sample_size(10);
+    let device = presets::l6(20);
+    let config = CompilerConfig::default();
+    for (name, circuit) in [
+        ("adder64", generators::adder_paper()),
+        ("supremacy64", generators::supremacy_paper()),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| compile(&circuit, &device, &config).expect("compiles"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_qasm(c: &mut Criterion) {
+    let circuit = generators::adder_paper();
+    let text = qasm::write(&circuit);
+    c.bench_function("qasm/parse_adder64", |b| {
+        b.iter(|| qasm::parse(&text).expect("parses"));
+    });
+}
+
+criterion_group!(benches, bench_mapping, bench_routing, bench_compile, bench_qasm);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion benchmarks of single design points from each figure's study,
+//! so regressions in the experiment drivers are visible without running
+//! the full sweeps (`cargo run -p qccd-bench --bin all` does those).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qccd::Toolflow;
+use qccd_circuit::generators;
+use qccd_compiler::{CompilerConfig, ReorderMethod};
+use qccd_device::presets;
+use qccd_physics::{GateImpl, PhysicalModel};
+
+/// One Fig. 6 cell: Supremacy on L6(20), FM, GS.
+fn bench_fig6_point(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_point");
+    group.sample_size(10);
+    let circuit = generators::supremacy_paper();
+    group.bench_function("supremacy_l6cap20_fm_gs", |b| {
+        let tf = Toolflow::new(presets::l6(20), PhysicalModel::with_gate(GateImpl::Fm));
+        b.iter(|| tf.run(&circuit).expect("runs"));
+    });
+    group.finish();
+}
+
+/// One Fig. 7 cell pair: SquareRoot on both topologies at capacity 20.
+fn bench_fig7_point(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_point");
+    group.sample_size(10);
+    let circuit = generators::square_root_paper();
+    group.bench_function("squareroot_l6cap20", |b| {
+        let tf = Toolflow::new(presets::l6(20), PhysicalModel::default());
+        b.iter(|| tf.run(&circuit).expect("runs"));
+    });
+    group.bench_function("squareroot_g2x3cap20", |b| {
+        let tf = Toolflow::new(presets::g2x3(20), PhysicalModel::default());
+        b.iter(|| tf.run(&circuit).expect("runs"));
+    });
+    group.finish();
+}
+
+/// One Fig. 8 cell: Adder with the AM2-IS microarchitecture.
+fn bench_fig8_point(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_point");
+    group.sample_size(10);
+    let circuit = generators::adder_paper();
+    group.bench_function("adder_l6cap20_am2_is", |b| {
+        let tf = Toolflow::with_config(
+            presets::l6(20),
+            PhysicalModel::with_gate(GateImpl::Am2),
+            CompilerConfig::with_reorder(ReorderMethod::IonSwap),
+        );
+        b.iter(|| tf.run(&circuit).expect("runs"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6_point, bench_fig7_point, bench_fig8_point);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion benchmarks of the end-to-end toolflow (compile + simulate),
+//! sized so `cargo bench` completes quickly while exercising the same
+//! code paths as the paper-scale studies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qccd::Toolflow;
+use qccd_circuit::generators;
+use qccd_compiler::{CompilerConfig, ReorderMethod};
+use qccd_device::presets;
+use qccd_physics::{GateImpl, PhysicalModel};
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("toolflow");
+    group.sample_size(20);
+
+    let cases = [
+        ("bv32", generators::bv(&[true; 31])),
+        ("qaoa32", generators::qaoa(32, 2, 7)),
+        ("adder16", generators::adder(15, 3, 9)),
+    ];
+    for (name, circuit) in &cases {
+        group.bench_with_input(BenchmarkId::new("l6", name), circuit, |b, circuit| {
+            let tf = Toolflow::new(presets::l6(12), PhysicalModel::default());
+            b.iter(|| tf.run(circuit).expect("runs"));
+        });
+        group.bench_with_input(BenchmarkId::new("g2x3", name), circuit, |b, circuit| {
+            let tf = Toolflow::new(presets::g2x3(12), PhysicalModel::default());
+            b.iter(|| tf.run(circuit).expect("runs"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_gate_impls(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gate_impls");
+    group.sample_size(20);
+    let circuit = generators::qaoa(32, 2, 7);
+    for gate in GateImpl::ALL {
+        group.bench_function(gate.name(), |b| {
+            let tf = Toolflow::new(presets::l6(12), PhysicalModel::with_gate(gate));
+            b.iter(|| tf.run(&circuit).expect("runs"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_reorder_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reorder");
+    group.sample_size(20);
+    let circuit = generators::bv(&[true; 31]);
+    for method in ReorderMethod::ALL {
+        group.bench_function(method.name(), |b| {
+            let tf = Toolflow::with_config(
+                presets::l6(12),
+                PhysicalModel::default(),
+                CompilerConfig::with_reorder(method),
+            );
+            b.iter(|| tf.run(&circuit).expect("runs"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end, bench_gate_impls, bench_reorder_methods);
+criterion_main!(benches);

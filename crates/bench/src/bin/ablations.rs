@@ -1,0 +1,38 @@
+//! Runs the beyond-the-paper ablation studies (DESIGN.md §6): mapping
+//! buffer, heating-model variant, junction-cost sensitivity and device
+//! size. Accepts the usual `--caps`/`--json` flags where applicable.
+
+use qccd::experiments::ablations;
+use qccd_circuit::generators;
+
+fn main() {
+    let args = qccd_bench::HarnessArgs::parse();
+    let caps = args.capacities();
+
+    let supremacy = generators::supremacy_paper();
+    let squareroot = generators::square_root_paper();
+    let qft = generators::qft_paper();
+
+    eprintln!("A1: mapping buffer sweep (supremacy, L6 cap 20)...");
+    let a1 = ablations::buffer_sweep(&supremacy, 20, &[0, 1, 2, 3, 4]);
+    println!("{a1}");
+
+    eprintln!("A2: heating-model ablation (supremacy)...");
+    let a2 = ablations::heating_ablation(&supremacy, &caps);
+    println!("{a2}");
+
+    eprintln!("A3: junction-cost sensitivity (squareroot, cap 20)...");
+    let a3 = ablations::junction_cost_sweep(&squareroot, 20, &[1, 2, 4, 8]);
+    println!("{a3}");
+
+    eprintln!("A4: device-size sweep (qft, capacity 25, 50-250 device qubits)...");
+    let a4 = ablations::device_size_sweep(&qft, &[3, 4, 5, 6, 8, 10], 25);
+    println!("{a4}");
+
+    if let Some(path) = args.json.as_deref() {
+        let bundle = serde_json::json!({"a1": a1, "a2": a2, "a3": a3, "a4": a4});
+        std::fs::write(path, serde_json::to_string_pretty(&bundle).expect("serializes"))
+            .expect("json written");
+        eprintln!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 6 (trap sizing study: L6, FM gates, GS reordering).
+
+fn main() {
+    let args = qccd_bench::HarnessArgs::parse();
+    let fig = qccd::experiments::fig6::generate(&args.capacities());
+    qccd_bench::emit(&fig, args.json.as_deref());
+}

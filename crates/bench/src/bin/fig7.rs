@@ -1,0 +1,7 @@
+//! Regenerates Figure 7 (topology study: L6 vs G2x3).
+
+fn main() {
+    let args = qccd_bench::HarnessArgs::parse();
+    let fig = qccd::experiments::fig7::generate(&args.capacities());
+    qccd_bench::emit(&fig, args.json.as_deref());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 8 (microarchitecture study: {AM1,AM2,PM,FM} × {GS,IS}).
+
+fn main() {
+    let args = qccd_bench::HarnessArgs::parse();
+    let fig = qccd::experiments::fig8::generate(&args.capacities());
+    qccd_bench::emit(&fig, args.json.as_deref());
+}

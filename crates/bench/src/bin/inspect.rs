@@ -1,0 +1,49 @@
+//! Diagnostic tool: per-benchmark, per-capacity breakdown of operation
+//! counts, motional energy and error contributions on the L6/FM/GS
+//! configuration. Useful for calibrating and debugging the models.
+
+use qccd::Toolflow;
+use qccd_circuit::generators::Benchmark;
+use qccd_device::presets;
+use qccd_physics::PhysicalModel;
+
+fn main() {
+    let caps: Vec<u32> = std::env::args()
+        .skip(1)
+        .map(|a| a.parse().expect("capacities as integers"))
+        .collect();
+    let caps = if caps.is_empty() {
+        vec![14, 18, 22, 26, 30, 34]
+    } else {
+        caps
+    };
+    println!(
+        "{:<12}{:>5}{:>9}{:>8}{:>8}{:>8}{:>9}{:>10}{:>10}{:>11}{:>11}{:>10}",
+        "app", "cap", "ms", "swaps", "splits", "moves", "peakE", "meanMot", "meanBg", "fidelity",
+        "time_s", "wait_s"
+    );
+    for b in Benchmark::ALL {
+        let circuit = b.build();
+        for &cap in &caps {
+            let tf = Toolflow::new(presets::l6(cap), PhysicalModel::default());
+            match tf.run(&circuit) {
+                Err(e) => println!("{:<12}{:>5}  {e}", b.name(), cap),
+                Ok(r) => println!(
+                    "{:<12}{:>5}{:>9}{:>8}{:>8}{:>8}{:>9.2}{:>10.2e}{:>10.2e}{:>11.3e}{:>11.4}{:>10.4}",
+                    b.name(),
+                    cap,
+                    r.ms_executions,
+                    r.counts.swap_gates,
+                    r.counts.splits,
+                    r.counts.moves,
+                    r.peak_motional_energy,
+                    r.mean_ms_motional_error(),
+                    r.mean_ms_background_error(),
+                    r.fidelity(),
+                    r.total_time_s(),
+                    r.time.shuttle_wait_us * 1e-6,
+                ),
+            }
+        }
+    }
+}

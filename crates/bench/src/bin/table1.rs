@@ -1,0 +1,7 @@
+//! Regenerates Table I (shuttling operation times).
+
+fn main() {
+    let args = qccd_bench::HarnessArgs::parse();
+    let table = qccd::experiments::table1::generate_paper();
+    qccd_bench::emit(&table, args.json.as_deref());
+}

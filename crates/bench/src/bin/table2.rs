@@ -1,0 +1,7 @@
+//! Regenerates Table II (benchmark suite characteristics).
+
+fn main() {
+    let args = qccd_bench::HarnessArgs::parse();
+    let table = qccd::experiments::table2::generate();
+    qccd_bench::emit(&table, args.json.as_deref());
+}

@@ -1,0 +1,106 @@
+//! Shared harness utilities for the table/figure regeneration binaries.
+//!
+//! Each binary (`table1`, `table2`, `fig6`, `fig7`, `fig8`, `all`) prints
+//! the paper artifact as CSV-like text and can additionally dump JSON:
+//!
+//! ```text
+//! cargo run --release -p qccd-bench --bin fig6            # full sweep
+//! cargo run --release -p qccd-bench --bin fig6 -- --quick # 3 capacities
+//! cargo run --release -p qccd-bench --bin fig8 -- --caps 14,20,26 --json fig8.json
+//! ```
+
+use qccd::experiments::{PAPER_CAPACITIES, QUICK_CAPACITIES};
+use serde::Serialize;
+use std::path::{Path, PathBuf};
+
+/// Parsed command-line options shared by all harness binaries.
+#[derive(Debug, Clone, Default)]
+pub struct HarnessArgs {
+    /// Use the reduced capacity set.
+    pub quick: bool,
+    /// Explicit capacity list (overrides `quick`).
+    pub caps: Option<Vec<u32>>,
+    /// Where to additionally dump the artifact as JSON.
+    pub json: Option<PathBuf>,
+}
+
+impl HarnessArgs {
+    /// Parses `std::env::args()`. Unknown flags abort with a usage
+    /// message.
+    pub fn parse() -> Self {
+        let mut out = HarnessArgs::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => out.quick = true,
+                "--caps" => {
+                    let list = args.next().unwrap_or_else(|| usage("--caps needs a value"));
+                    let caps: Result<Vec<u32>, _> =
+                        list.split(',').map(|s| s.trim().parse()).collect();
+                    out.caps = Some(caps.unwrap_or_else(|_| usage("--caps expects e.g. 14,22,30")));
+                }
+                "--json" => {
+                    let path = args.next().unwrap_or_else(|| usage("--json needs a path"));
+                    out.json = Some(PathBuf::from(path));
+                }
+                "--help" | "-h" => usage(""),
+                other => usage(&format!("unknown flag `{other}`")),
+            }
+        }
+        out
+    }
+
+    /// The capacity sweep to run.
+    pub fn capacities(&self) -> Vec<u32> {
+        if let Some(caps) = &self.caps {
+            caps.clone()
+        } else if self.quick {
+            QUICK_CAPACITIES.to_vec()
+        } else {
+            PAPER_CAPACITIES.to_vec()
+        }
+    }
+}
+
+fn usage(message: &str) -> ! {
+    if !message.is_empty() {
+        eprintln!("error: {message}");
+    }
+    eprintln!("usage: <bin> [--quick] [--caps 14,22,30] [--json out.json]");
+    std::process::exit(if message.is_empty() { 0 } else { 2 });
+}
+
+/// Prints the artifact and optionally writes it as JSON.
+pub fn emit<T: std::fmt::Display + Serialize>(artifact: &T, json: Option<&Path>) {
+    println!("{artifact}");
+    if let Some(path) = json {
+        let text = serde_json::to_string_pretty(artifact).expect("artifacts serialize");
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("error: could not write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacities_default_quick_and_explicit() {
+        let default = HarnessArgs::default();
+        assert_eq!(default.capacities(), PAPER_CAPACITIES.to_vec());
+        let quick = HarnessArgs {
+            quick: true,
+            ..Default::default()
+        };
+        assert_eq!(quick.capacities(), QUICK_CAPACITIES.to_vec());
+        let explicit = HarnessArgs {
+            caps: Some(vec![10, 12]),
+            quick: true,
+            ..Default::default()
+        };
+        assert_eq!(explicit.capacities(), vec![10, 12]);
+    }
+}

@@ -1,0 +1,285 @@
+//! Static circuit analysis: the statistics behind Table II.
+//!
+//! For each benchmark the paper reports qubit count, two-qubit gate count
+//! and a qualitative *communication pattern*. [`CircuitStats`] computes
+//! these (plus depth and interaction-distance percentiles) from any
+//! [`Circuit`], and [`CommunicationPattern`] reproduces the qualitative
+//! classification.
+
+use crate::circuit::{Circuit, Operation};
+use crate::dag::DependencyDag;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Qualitative communication pattern of a circuit, as in Table II.
+///
+/// The classification looks at the distribution of |i−j| over two-qubit
+/// gates *in program-qubit index space*, which is the natural layout for
+/// the line-mapped NISQ benchmarks the paper studies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CommunicationPattern {
+    /// Almost all interactions are between adjacent (or near-adjacent)
+    /// program qubits — e.g. QAOA's hardware-efficient ansatz, Supremacy.
+    NearestNeighbor,
+    /// Interactions within a small neighbourhood — e.g. the ripple-carry
+    /// Adder.
+    ShortRange,
+    /// A mix of short- and long-range interactions — e.g. SquareRoot, BV.
+    ShortAndLongRange,
+    /// Every distance occurs — e.g. QFT's all-to-all sequence.
+    AllDistances,
+}
+
+impl fmt::Display for CommunicationPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CommunicationPattern::NearestNeighbor => "nearest neighbor gates",
+            CommunicationPattern::ShortRange => "short range gates",
+            CommunicationPattern::ShortAndLongRange => "short and long-range gates",
+            CommunicationPattern::AllDistances => "all distances",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Summary statistics of a circuit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CircuitStats {
+    /// Circuit name.
+    pub name: String,
+    /// Number of program qubits.
+    pub qubits: u32,
+    /// Number of two-qubit gates.
+    pub two_qubit_gates: usize,
+    /// Number of single-qubit gates.
+    pub one_qubit_gates: usize,
+    /// Number of measurements.
+    pub measurements: usize,
+    /// Logical depth (longest dependency chain).
+    pub depth: usize,
+    /// Histogram of |i−j| over two-qubit gates; index 0 is distance 1.
+    pub distance_histogram: Vec<usize>,
+    /// Median two-qubit interaction distance (0 if no 2q gates).
+    pub median_distance: usize,
+    /// 95th-percentile interaction distance (0 if no 2q gates).
+    pub p95_distance: usize,
+    /// Maximum interaction distance (0 if no 2q gates).
+    pub max_distance: usize,
+    /// Qualitative communication pattern.
+    pub pattern: CommunicationPattern,
+}
+
+impl CircuitStats {
+    /// Analyzes `circuit`.
+    pub fn of(circuit: &Circuit) -> Self {
+        let mut distances: Vec<usize> = Vec::new();
+        for op in circuit.iter() {
+            if let Operation::TwoQubit { a, b, .. } = op {
+                distances.push(a.index().abs_diff(b.index()));
+            }
+        }
+        distances.sort_unstable();
+        let max_distance = distances.last().copied().unwrap_or(0);
+        let mut histogram = vec![0usize; max_distance.max(1)];
+        for &d in &distances {
+            if d >= 1 {
+                histogram[d - 1] += 1;
+            }
+        }
+        let percentile = |p: f64| -> usize {
+            if distances.is_empty() {
+                0
+            } else {
+                let idx = ((distances.len() as f64 - 1.0) * p).round() as usize;
+                distances[idx]
+            }
+        };
+        let median_distance = percentile(0.5);
+        let p95_distance = percentile(0.95);
+        let pattern = classify(
+            circuit.num_qubits(),
+            median_distance,
+            p95_distance,
+            max_distance,
+            &distances,
+        );
+        CircuitStats {
+            name: circuit.name().to_owned(),
+            qubits: circuit.num_qubits(),
+            two_qubit_gates: distances.len(),
+            one_qubit_gates: circuit.one_qubit_gate_count(),
+            measurements: circuit.measure_count(),
+            depth: DependencyDag::new(circuit).depth(),
+            distance_histogram: histogram,
+            median_distance,
+            p95_distance,
+            max_distance,
+            pattern,
+        }
+    }
+}
+
+/// Classifies the communication pattern from distance percentiles.
+///
+/// Thresholds (fractions of the qubit count n):
+/// * nearest-neighbour: p95 ≤ max(2, n/8) **and** at most two distinct
+///   distances occur — regular lattice couplings (a line, or the two axes
+///   of a row-major 2-D grid) produce exactly this signature;
+/// * short-range: p95 ≤ n/4;
+/// * all-distances: distances cover ≥ half of all possible values *and*
+///   the circuit interacts a dense fraction (≥ ¼) of all qubit pairs —
+///   this separates QFT's everybody-with-everybody pattern from
+///   star-shaped circuits like BV that merely touch every distance once;
+/// * otherwise: short-and-long-range.
+fn classify(
+    n: u32,
+    _median: usize,
+    p95: usize,
+    max: usize,
+    distances: &[usize],
+) -> CommunicationPattern {
+    let n = n as usize;
+    if distances.is_empty() {
+        return CommunicationPattern::NearestNeighbor;
+    }
+    let mut covered = vec![false; max + 1];
+    for &d in distances {
+        covered[d] = true;
+    }
+    let distinct = covered.iter().filter(|&&b| b).count();
+    if p95 <= (n / 8).max(2) && distinct <= 2 {
+        return CommunicationPattern::NearestNeighbor;
+    }
+    if p95 <= n / 4 {
+        return CommunicationPattern::ShortRange;
+    }
+    if n > 1 && distinct * 2 >= n - 1 && distances.len() * 4 >= n * (n - 1) / 2 {
+        CommunicationPattern::AllDistances
+    } else {
+        CommunicationPattern::ShortAndLongRange
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Qubit;
+
+    #[test]
+    fn nearest_neighbor_line_is_classified_nn() {
+        let mut c = Circuit::new("line", 32);
+        for layer in 0..4 {
+            let _ = layer;
+            for i in 0..31 {
+                c.cx(Qubit(i), Qubit(i + 1));
+            }
+        }
+        let stats = CircuitStats::of(&c);
+        assert_eq!(stats.pattern, CommunicationPattern::NearestNeighbor);
+        assert_eq!(stats.median_distance, 1);
+        assert_eq!(stats.max_distance, 1);
+    }
+
+    #[test]
+    fn all_to_all_is_classified_all_distances() {
+        let mut c = Circuit::new("a2a", 16);
+        for i in 0..16u32 {
+            for j in (i + 1)..16 {
+                c.cz(Qubit(i), Qubit(j));
+            }
+        }
+        let stats = CircuitStats::of(&c);
+        assert_eq!(stats.pattern, CommunicationPattern::AllDistances);
+        assert_eq!(stats.max_distance, 15);
+    }
+
+    #[test]
+    fn short_range_window_is_classified_short() {
+        // Several distinct short distances: local but not lattice-regular.
+        let mut c = Circuit::new("win", 64);
+        for i in 0..56u32 {
+            c.cx(Qubit(i), Qubit(i + 3 + i % 3));
+        }
+        let stats = CircuitStats::of(&c);
+        assert_eq!(stats.pattern, CommunicationPattern::ShortRange);
+    }
+
+    #[test]
+    fn grid_signature_is_nearest_neighbor() {
+        // Row-major 8×8 grid couplings: distances 1 and 8 only.
+        let mut c = Circuit::new("grid", 64);
+        for r in 0..8u32 {
+            for col in 0..7u32 {
+                c.cz(Qubit(r * 8 + col), Qubit(r * 8 + col + 1));
+            }
+        }
+        for r in 0..7u32 {
+            for col in 0..8u32 {
+                c.cz(Qubit(r * 8 + col), Qubit((r + 1) * 8 + col));
+            }
+        }
+        let stats = CircuitStats::of(&c);
+        assert_eq!(stats.pattern, CommunicationPattern::NearestNeighbor);
+    }
+
+    #[test]
+    fn star_touching_every_distance_is_not_all_distances() {
+        // BV-like: every distance occurs once, but only n-1 pairs interact.
+        let mut c = Circuit::new("star", 64);
+        for i in 0..63u32 {
+            c.cx(Qubit(i), Qubit(63));
+        }
+        assert_eq!(
+            CircuitStats::of(&c).pattern,
+            CommunicationPattern::ShortAndLongRange
+        );
+    }
+
+    #[test]
+    fn mixed_star_is_short_and_long() {
+        // Bernstein–Vazirani-like: everything targets one ancilla.
+        let mut c = Circuit::new("star", 64);
+        for i in 0..63u32 {
+            c.cx(Qubit(i), Qubit(63));
+        }
+        let stats = CircuitStats::of(&c);
+        assert_eq!(stats.two_qubit_gates, 63);
+        assert!(matches!(
+            stats.pattern,
+            CommunicationPattern::ShortAndLongRange | CommunicationPattern::AllDistances
+        ));
+    }
+
+    #[test]
+    fn histogram_counts_every_gate() {
+        let mut c = Circuit::new("h", 8);
+        c.cx(Qubit(0), Qubit(1));
+        c.cx(Qubit(0), Qubit(1));
+        c.cx(Qubit(0), Qubit(4));
+        let stats = CircuitStats::of(&c);
+        assert_eq!(stats.distance_histogram[0], 2);
+        assert_eq!(stats.distance_histogram[3], 1);
+        assert_eq!(stats.distance_histogram.iter().sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn empty_circuit_has_zeroed_stats() {
+        let stats = CircuitStats::of(&Circuit::new("e", 5));
+        assert_eq!(stats.two_qubit_gates, 0);
+        assert_eq!(stats.depth, 0);
+        assert_eq!(stats.max_distance, 0);
+        assert_eq!(stats.pattern, CommunicationPattern::NearestNeighbor);
+    }
+
+    #[test]
+    fn pattern_display_matches_paper_wording() {
+        assert_eq!(
+            CommunicationPattern::NearestNeighbor.to_string(),
+            "nearest neighbor gates"
+        );
+        assert_eq!(
+            CommunicationPattern::ShortAndLongRange.to_string(),
+            "short and long-range gates"
+        );
+    }
+}

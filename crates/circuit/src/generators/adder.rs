@@ -1,0 +1,150 @@
+//! Cuccaro ripple-carry adder.
+//!
+//! Cuccaro, Draper, Kutin, Moulton (quant-ph/0410184): an in-place adder
+//! computing `b := a + b` with one input carry and one output carry qubit,
+//! built from MAJ / UMA blocks. For `n`-bit operands the circuit uses
+//! `2n + 2` qubits; Table II's instance is `n = 31` → 64 qubits. Each MAJ
+//! and UMA block contributes 2 CNOTs + 1 Toffoli (6 CNOTs in the standard
+//! decomposition), giving 16n + 1 two-qubit gates — 497 for n = 31, within
+//! ~9 % of Table II's 545 (which depends on the front-end's Toffoli
+//! decomposition). The ripple structure makes all interactions short-range.
+//!
+//! Qubit layout (interleaved so the ripple is short-range in index space,
+//! matching the "short range gates" classification):
+//! `cin, b0, a0, b1, a1, …, b{n-1}, a{n-1}, cout`.
+
+use crate::circuit::{Circuit, Qubit};
+
+/// Builds an `n`-bit Cuccaro ripple-carry adder on `2n + 2` qubits.
+///
+/// Operand bits are initialised from the binary expansions of `a_val` and
+/// `b_val` (mod 2ⁿ) with X gates, so the circuit is runnable end-to-end.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn adder(n: u32, a_val: u64, b_val: u64) -> Circuit {
+    assert!(n > 0, "adder needs at least 1 bit");
+    let mut c = Circuit::new(format!("adder_n{n}"), 2 * n + 2);
+    let cin = Qubit(0);
+    let b = |i: u32| Qubit(1 + 2 * i);
+    let a = |i: u32| Qubit(2 + 2 * i);
+    let cout = Qubit(2 * n + 1);
+
+    // State preparation.
+    for i in 0..n.min(63) {
+        if (a_val >> i) & 1 == 1 {
+            c.x(a(i));
+        }
+        if (b_val >> i) & 1 == 1 {
+            c.x(b(i));
+        }
+    }
+
+    // MAJ(c, b, a): CX a→b, CX a→c, CCX(c, b, a).
+    let maj = |c: &mut Circuit, x: Qubit, y: Qubit, z: Qubit| {
+        c.cx(z, y);
+        c.cx(z, x);
+        c.toffoli(x, y, z);
+    };
+    // UMA(c, b, a): CCX(c, b, a), CX a→c, CX c→b.
+    let uma = |c: &mut Circuit, x: Qubit, y: Qubit, z: Qubit| {
+        c.toffoli(x, y, z);
+        c.cx(z, x);
+        c.cx(x, y);
+    };
+
+    maj(&mut c, cin, b(0), a(0));
+    for i in 1..n {
+        maj(&mut c, a(i - 1), b(i), a(i));
+    }
+    c.cx(a(n - 1), cout);
+    for i in (1..n).rev() {
+        uma(&mut c, a(i - 1), b(i), a(i));
+    }
+    uma(&mut c, cin, b(0), a(0));
+
+    // Sum appears on the b register plus the carry-out.
+    for i in 0..n {
+        c.measure(b(i));
+    }
+    c.measure(cout);
+    c
+}
+
+/// The Table II instance: 31-bit operands → 64 qubits, ~545 two-qubit
+/// gates (497 with the 6-CNOT Toffoli used here).
+pub fn adder_paper() -> Circuit {
+    adder(31, 0x2c3e_51a7, 0x1b86_f0d3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{CircuitStats, CommunicationPattern};
+
+    #[test]
+    fn paper_instance_dimensions() {
+        let c = adder_paper();
+        assert_eq!(c.num_qubits(), 64);
+        assert_eq!(c.two_qubit_gate_count(), 16 * 31 + 1);
+    }
+
+    #[test]
+    fn gate_count_formula_holds() {
+        for n in [1u32, 4, 10] {
+            let c = adder(n, 0, 0);
+            assert_eq!(c.two_qubit_gate_count() as u32, 16 * n + 1);
+        }
+    }
+
+    #[test]
+    fn interactions_are_short_range() {
+        let stats = CircuitStats::of(&adder_paper());
+        assert!(
+            stats.max_distance <= 4,
+            "ripple adder should be local, max distance {}",
+            stats.max_distance
+        );
+        assert!(matches!(
+            stats.pattern,
+            CommunicationPattern::ShortRange | CommunicationPattern::NearestNeighbor
+        ));
+    }
+
+    #[test]
+    fn measures_sum_register_and_carry() {
+        let c = adder(5, 0, 0);
+        assert_eq!(c.measure_count(), 6);
+    }
+
+    #[test]
+    fn operand_bits_set_with_x_gates() {
+        // a = 0b101, b = 0b010: three X gates.
+        let c = adder(3, 0b101, 0b010);
+        let xs = c
+            .iter()
+            .filter(|op| {
+                matches!(
+                    op,
+                    crate::circuit::Operation::OneQubit {
+                        gate: crate::gate::OneQubitGate::X,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(xs, 3);
+    }
+
+    #[test]
+    fn is_deterministic() {
+        assert_eq!(adder(8, 3, 9), adder(8, 3, 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn zero_bit_adder_panics() {
+        let _ = adder(0, 0, 0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Grover search — ScaffCC's "SquareRoot" benchmark.
+//!
+//! SquareRoot is an implementation of Grover's algorithm (the paper cites
+//! Grover STOC'96 for it). The circuit alternates a marking oracle with the
+//! diffusion operator; both are built around a multi-controlled Z realised
+//! with a Toffoli V-chain over a dedicated ancilla register. For `n` search
+//! qubits the chain needs `n − 2` ancillas, so Table II's 78-qubit instance
+//! corresponds to `n = 40` (40 + 38). Control-to-ancilla interactions span
+//! the register while chain steps are adjacent, giving the "short and
+//! long-range" pattern of Table II.
+
+use crate::circuit::{Circuit, Qubit};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+use super::PAPER_SEED;
+
+/// Appends a multi-controlled Z over all `n` search qubits, using the
+/// ancilla register as a Toffoli V-chain (compute, CZ, uncompute).
+fn multi_controlled_z(c: &mut Circuit, n: u32) {
+    debug_assert!(n >= 3, "v-chain mcz needs at least 3 search qubits");
+    let anc = |i: u32| Qubit(n + i);
+    // Compute: a0 = c0 ∧ c1, a_k = a_{k-1} ∧ c_{k+1}.
+    c.toffoli(Qubit(0), Qubit(1), anc(0));
+    for k in 1..(n - 2) {
+        c.toffoli(Qubit(k + 1), anc(k - 1), anc(k));
+    }
+    // Phase on the last control conditioned on the AND of the others.
+    c.cz(anc(n - 3), Qubit(n - 1));
+    // Uncompute.
+    for k in (1..(n - 2)).rev() {
+        c.toffoli(Qubit(k + 1), anc(k - 1), anc(k));
+    }
+    c.toffoli(Qubit(0), Qubit(1), anc(0));
+}
+
+/// Builds a Grover search circuit with `n` search qubits (`2n − 2` total)
+/// and `iterations` Grover iterations; the marked element is drawn from the
+/// seeded RNG.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn square_root(n: u32, iterations: u32, seed: u64) -> Circuit {
+    assert!(n >= 3, "grover v-chain construction needs n >= 3");
+    let total = 2 * n - 2;
+    let mut c = Circuit::new(format!("squareroot_n{n}_k{iterations}"), total);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let marked: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
+
+    for i in 0..n {
+        c.h(Qubit(i));
+    }
+    for _ in 0..iterations {
+        // Oracle: phase-flip the marked element. X-conjugate the zero bits
+        // of the marked string around the MCZ.
+        for (i, &bit) in marked.iter().enumerate() {
+            if !bit {
+                c.x(Qubit(i as u32));
+            }
+        }
+        multi_controlled_z(&mut c, n);
+        for (i, &bit) in marked.iter().enumerate() {
+            if !bit {
+                c.x(Qubit(i as u32));
+            }
+        }
+        // Diffusion: H X (MCZ) X H on the search register.
+        for i in 0..n {
+            c.h(Qubit(i));
+        }
+        for i in 0..n {
+            c.x(Qubit(i));
+        }
+        multi_controlled_z(&mut c, n);
+        for i in 0..n {
+            c.x(Qubit(i));
+        }
+        for i in 0..n {
+            c.h(Qubit(i));
+        }
+    }
+    for i in 0..n {
+        c.measure(Qubit(i));
+    }
+    c
+}
+
+/// The Table II instance: n = 40 search qubits → 78 qubits, ~1028
+/// two-qubit gates (914 with the 6-CNOT Toffoli used here).
+pub fn square_root_paper() -> Circuit {
+    square_root(40, 1, PAPER_SEED)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{CircuitStats, CommunicationPattern};
+
+    #[test]
+    fn paper_instance_dimensions() {
+        let c = square_root_paper();
+        assert_eq!(c.num_qubits(), 78);
+        // Per iteration: 2 MCZ · (2(n−2) Toffolis · 6 + 1 CZ).
+        assert_eq!(c.two_qubit_gate_count(), 2 * (12 * 38 + 1));
+    }
+
+    #[test]
+    fn two_qubit_count_scales_with_iterations() {
+        let one = square_root(10, 1, 0).two_qubit_gate_count();
+        let two = square_root(10, 2, 0).two_qubit_gate_count();
+        assert_eq!(two, 2 * one);
+    }
+
+    #[test]
+    fn ancilla_register_is_returned_to_zero_uses() {
+        // Compute/uncompute symmetry: every ancilla is touched an even
+        // number of times by Toffoli targets.
+        let n = 8u32;
+        let c = square_root(n, 1, 1);
+        let mut target_touches = vec![0usize; c.num_qubits() as usize];
+        for op in c.iter() {
+            if let crate::circuit::Operation::TwoQubit { b, .. } = op {
+                target_touches[b.index()] += 1;
+            }
+        }
+        // (A smoke check of chain symmetry rather than full simulation.)
+        for a in n..(2 * n - 2) {
+            assert!(target_touches[a as usize] > 0);
+        }
+    }
+
+    #[test]
+    fn pattern_mixes_short_and_long_range() {
+        let stats = CircuitStats::of(&square_root_paper());
+        assert!(stats.max_distance > 39, "expected long-range interactions");
+        assert_eq!(stats.distance_histogram[0].min(1), 1, "expected short-range too");
+        assert!(matches!(
+            stats.pattern,
+            CommunicationPattern::ShortAndLongRange | CommunicationPattern::AllDistances
+        ));
+    }
+
+    #[test]
+    fn measures_search_register_only() {
+        let c = square_root(12, 1, 0);
+        assert_eq!(c.measure_count(), 12);
+    }
+
+    #[test]
+    fn marked_element_depends_on_seed() {
+        assert_ne!(square_root(10, 1, 1), square_root(10, 1, 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 3")]
+    fn tiny_instance_panics() {
+        let _ = square_root(2, 1, 0);
+    }
+}

@@ -1,0 +1,115 @@
+//! QAOA with the hardware-efficient ansatz of Moll et al. (QST 2018).
+//!
+//! The paper (§VIII-A) uses the hardware-efficient ansatz, whose entangling
+//! structure is nearest-neighbour along a line — the reason QAOA maps so
+//! well onto linear QCCD topologies (§IX-B). Each of the `p` rounds applies
+//! a ZZ cost layer over the 63 line edges (2 CNOTs + Rz per edge) followed
+//! by an Rx mixer on every qubit. Table II's instance is 64 qubits with
+//! 1260 two-qubit gates: p = 10 rounds × 63 edges × 2 CNOTs.
+
+use crate::circuit::{Circuit, Qubit};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+use super::PAPER_SEED;
+
+/// Builds a line-ansatz QAOA circuit on `n` qubits with `p` rounds.
+///
+/// Angles (γ per round-edge, β per round) are drawn uniformly from
+/// (0, 2π) with the seeded RNG, matching the variational setting where the
+/// compiler must handle arbitrary parameter values.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn qaoa(n: u32, p: u32, seed: u64) -> Circuit {
+    assert!(n >= 2, "qaoa needs at least 2 qubits");
+    let mut c = Circuit::new(format!("qaoa_n{n}_p{p}"), n);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let tau = std::f64::consts::TAU;
+
+    for i in 0..n {
+        c.h(Qubit(i));
+    }
+    for _round in 0..p {
+        let gamma: f64 = rng.gen_range(0.0..tau);
+        for i in 0..n - 1 {
+            // exp(-i γ Z_i Z_{i+1} / 2) = CX · Rz(γ) · CX
+            c.cx(Qubit(i), Qubit(i + 1));
+            c.rz(gamma, Qubit(i + 1));
+            c.cx(Qubit(i), Qubit(i + 1));
+        }
+        let beta: f64 = rng.gen_range(0.0..tau);
+        for i in 0..n {
+            c.rx(beta, Qubit(i));
+        }
+    }
+    c.measure_all();
+    c
+}
+
+/// The Table II instance: 64 qubits, p = 10, 1260 two-qubit gates.
+pub fn qaoa_paper() -> Circuit {
+    qaoa(64, 10, PAPER_SEED)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{CircuitStats, CommunicationPattern};
+    use crate::circuit::Operation;
+
+    #[test]
+    fn paper_instance_matches_table_ii_exactly() {
+        let c = qaoa_paper();
+        assert_eq!(c.num_qubits(), 64);
+        assert_eq!(c.two_qubit_gate_count(), 1260);
+    }
+
+    #[test]
+    fn every_interaction_is_nearest_neighbor() {
+        let c = qaoa(16, 3, 1);
+        for op in c.iter() {
+            if let Operation::TwoQubit { a, b, .. } = op {
+                assert_eq!(a.index().abs_diff(b.index()), 1);
+            }
+        }
+        assert_eq!(
+            CircuitStats::of(&c).pattern,
+            CommunicationPattern::NearestNeighbor
+        );
+    }
+
+    #[test]
+    fn gate_count_formula_holds() {
+        for (n, p) in [(8u32, 1u32), (10, 4), (64, 10)] {
+            let c = qaoa(n, p, 3);
+            assert_eq!(c.two_qubit_gate_count() as u32, 2 * (n - 1) * p);
+            // H layer + per-round Rz and Rx layers.
+            assert_eq!(
+                c.one_qubit_gate_count() as u32,
+                n + p * ((n - 1) + n)
+            );
+        }
+    }
+
+    #[test]
+    fn angles_depend_on_seed_but_structure_does_not() {
+        let a = qaoa(12, 2, 1);
+        let b = qaoa(12, 2, 99);
+        assert_ne!(a, b);
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.two_qubit_gate_count(), b.two_qubit_gate_count());
+    }
+
+    #[test]
+    fn measures_all_qubits() {
+        assert_eq!(qaoa(9, 1, 0).measure_count(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn one_qubit_qaoa_panics() {
+        let _ = qaoa(1, 1, 0);
+    }
+}

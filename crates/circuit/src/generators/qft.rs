@@ -1,0 +1,87 @@
+//! Quantum Fourier Transform.
+//!
+//! The textbook QFT: for each qubit a Hadamard followed by controlled-phase
+//! rotations from every later qubit. Controlled-phases are decomposed into
+//! their standard 2-CNOT network at construction time, which is how Table II
+//! arrives at 64·63 = 4032 two-qubit gates for 64 qubits. The final qubit-
+//! reversal SWAP network is omitted, as is conventional for cost studies.
+//!
+//! QFT's communication pattern covers *every* pairwise distance — the
+//! "(64*63 gates)" annotation in Table II — making it the paper's most
+//! communication-hungry benchmark and the one that rewards large traps
+//! (Fig. 6b) and linear topologies (§IX-B).
+
+use crate::circuit::{Circuit, Qubit};
+
+/// Builds an `n`-qubit QFT (without the final reversal swaps), with each
+/// controlled-phase decomposed into 2 CNOTs + Rz wrappers.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn qft(n: u32) -> Circuit {
+    assert!(n > 0, "qft needs at least 1 qubit");
+    let mut c = Circuit::new(format!("qft_n{n}"), n);
+    for i in 0..n {
+        c.h(Qubit(i));
+        for j in (i + 1)..n {
+            let k = j - i; // rotation order: θ = π / 2^k
+            let theta = std::f64::consts::PI / f64::from(1u32 << k.min(30));
+            c.cphase(theta, Qubit(j), Qubit(i));
+        }
+    }
+    c.measure_all();
+    c
+}
+
+/// The Table II instance: 64 qubits, 4032 two-qubit gates.
+pub fn qft_paper() -> Circuit {
+    qft(64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::{CircuitStats, CommunicationPattern};
+
+    #[test]
+    fn paper_instance_matches_table_ii_exactly() {
+        let c = qft_paper();
+        assert_eq!(c.num_qubits(), 64);
+        assert_eq!(c.two_qubit_gate_count(), 64 * 63);
+    }
+
+    #[test]
+    fn two_qubit_count_is_n_times_n_minus_one() {
+        for n in [2u32, 5, 16, 33] {
+            assert_eq!(qft(n).two_qubit_gate_count() as u32, n * (n - 1));
+        }
+    }
+
+    #[test]
+    fn every_distance_appears() {
+        let n = 16u32;
+        let stats = CircuitStats::of(&qft(n));
+        assert_eq!(stats.pattern, CommunicationPattern::AllDistances);
+        for d in 0..(n as usize - 1) {
+            assert!(
+                stats.distance_histogram[d] > 0,
+                "distance {} missing",
+                d + 1
+            );
+        }
+    }
+
+    #[test]
+    fn single_qubit_qft_is_just_h_and_measure() {
+        let c = qft(1);
+        assert_eq!(c.one_qubit_gate_count(), 1);
+        assert_eq!(c.two_qubit_gate_count(), 0);
+        assert_eq!(c.measure_count(), 1);
+    }
+
+    #[test]
+    fn is_deterministic() {
+        assert_eq!(qft(10), qft(10));
+    }
+}

@@ -1,0 +1,92 @@
+//! Seeded random circuits for tests, fuzzing and synthetic workloads.
+
+use crate::circuit::{Circuit, Qubit};
+use crate::gate::OneQubitGate;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// Builds a random circuit with `ops` gate operations on `n` qubits, of
+/// which roughly `two_qubit_fraction` are CNOTs on uniformly random qubit
+/// pairs, followed by a measurement of every qubit.
+///
+/// Used by property-based tests across the workspace: any circuit this
+/// produces must compile, route and simulate on any device that fits it.
+///
+/// # Panics
+///
+/// Panics if `n == 0`, or if `two_qubit_fraction` is outside `[0, 1]`, or
+/// if `two_qubit_fraction > 0` and `n < 2`.
+pub fn random_circuit(n: u32, ops: usize, two_qubit_fraction: f64, seed: u64) -> Circuit {
+    assert!(n > 0, "random circuit needs at least 1 qubit");
+    assert!(
+        (0.0..=1.0).contains(&two_qubit_fraction),
+        "two_qubit_fraction must be in [0, 1]"
+    );
+    assert!(
+        two_qubit_fraction == 0.0 || n >= 2,
+        "two-qubit gates need at least 2 qubits"
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut c = Circuit::new(format!("random_n{n}_g{ops}"), n);
+    let singles = [
+        OneQubitGate::H,
+        OneQubitGate::X,
+        OneQubitGate::T,
+        OneQubitGate::S,
+    ];
+    for _ in 0..ops {
+        if rng.gen_bool(two_qubit_fraction) {
+            let a = rng.gen_range(0..n);
+            let b = loop {
+                let b = rng.gen_range(0..n);
+                if b != a {
+                    break b;
+                }
+            };
+            c.cx(Qubit(a), Qubit(b));
+        } else if rng.gen_bool(0.3) {
+            c.rz(rng.gen_range(0.0..std::f64::consts::TAU), Qubit(rng.gen_range(0..n)));
+        } else {
+            let g = singles[rng.gen_range(0..singles.len())];
+            c.one_qubit(g, Qubit(rng.gen_range(0..n)));
+        }
+    }
+    c.measure_all();
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_requested_operation_count() {
+        let c = random_circuit(8, 100, 0.4, 42);
+        assert_eq!(c.len(), 100 + 8); // ops + measurements
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn is_deterministic_per_seed() {
+        assert_eq!(random_circuit(6, 50, 0.5, 7), random_circuit(6, 50, 0.5, 7));
+        assert_ne!(random_circuit(6, 50, 0.5, 7), random_circuit(6, 50, 0.5, 8));
+    }
+
+    #[test]
+    fn zero_fraction_has_no_two_qubit_gates() {
+        let c = random_circuit(1, 30, 0.0, 3);
+        assert_eq!(c.two_qubit_gate_count(), 0);
+    }
+
+    #[test]
+    fn full_fraction_is_all_two_qubit_gates() {
+        let c = random_circuit(5, 30, 1.0, 3);
+        assert_eq!(c.two_qubit_gate_count(), 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 qubits")]
+    fn two_qubit_gates_on_single_qubit_circuit_panic() {
+        let _ = random_circuit(1, 10, 0.5, 0);
+    }
+}

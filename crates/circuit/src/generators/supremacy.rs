@@ -1,0 +1,158 @@
+//! Google-style quantum supremacy random circuits on a 2-D grid.
+//!
+//! Follows the structure of Arute et al. (Nature 2019): alternating layers
+//! of two-qubit gates on one of four disjoint nearest-neighbour couplers
+//! masks (A, C, B, D cycling), interleaved with random single-qubit gates
+//! from {√X, √Y, √W} chosen never to repeat on the same qubit. Table II's
+//! instance is an 8×8 grid with 560 two-qubit gates, which corresponds to
+//! 20 coupler layers (5 full A-C-B-D cycles: 2·(32+24) gates per cycle).
+
+use crate::circuit::{Circuit, Qubit};
+use crate::gate::OneQubitGate;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+use super::PAPER_SEED;
+
+/// Builds a supremacy-style random circuit on a `rows`×`cols` grid with
+/// `layers` two-qubit layers.
+///
+/// Qubits are numbered row-major: qubit (r, c) = `r*cols + c`. The circuit
+/// ends with a measurement of every qubit.
+///
+/// # Panics
+///
+/// Panics if `rows == 0` or `cols == 0`.
+pub fn supremacy(rows: u32, cols: u32, layers: u32, seed: u64) -> Circuit {
+    assert!(rows > 0 && cols > 0, "grid must be non-empty");
+    let n = rows * cols;
+    let mut c = Circuit::new(
+        format!("supremacy_{rows}x{cols}_d{layers}"),
+        n,
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let q = |r: u32, col: u32| Qubit(r * cols + col);
+
+    // Pre-compute the four disjoint coupler masks: A/B partition the
+    // horizontal grid edges by column parity, C/D the vertical ones by row
+    // parity. The layer sequence cycles A, C, B, D.
+    let mut masks: [Vec<(Qubit, Qubit)>; 4] = [vec![], vec![], vec![], vec![]];
+    for r in 0..rows {
+        for col in 0..cols - 1 {
+            let idx = if col % 2 == 0 { 0 } else { 2 }; // A or B (horizontal)
+            masks[idx].push((q(r, col), q(r, col + 1)));
+        }
+    }
+    for r in 0..rows - 1 {
+        for col in 0..cols {
+            let idx = if r % 2 == 0 { 1 } else { 3 }; // C or D (vertical)
+            masks[idx].push((q(r, col), q(r + 1, col)));
+        }
+    }
+
+    let single_qubit_set = [OneQubitGate::SqrtX, OneQubitGate::SqrtY, OneQubitGate::SqrtW];
+    let mut last_gate: Vec<Option<usize>> = vec![None; n as usize];
+
+    for layer in 0..layers {
+        // Random single-qubit layer, never repeating the previous gate on a
+        // given qubit (as in the Google experiment).
+        for i in 0..n {
+            let choice = loop {
+                let g = rng.gen_range(0..single_qubit_set.len());
+                if last_gate[i as usize] != Some(g) {
+                    break g;
+                }
+            };
+            last_gate[i as usize] = Some(choice);
+            c.one_qubit(single_qubit_set[choice], Qubit(i));
+        }
+        // Two-qubit layer on the cycling mask (A, C, B, D, ...).
+        let mask = &masks[(layer % 4) as usize];
+        for &(a, b) in mask {
+            c.cz(a, b);
+        }
+    }
+    c.measure_all();
+    c
+}
+
+/// The Table II instance: 8×8 grid, 20 layers, 560 two-qubit gates.
+pub fn supremacy_paper() -> Circuit {
+    supremacy(8, 8, 20, PAPER_SEED)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::CircuitStats;
+
+    #[test]
+    fn paper_instance_has_exactly_560_two_qubit_gates() {
+        let c = supremacy_paper();
+        assert_eq!(c.num_qubits(), 64);
+        assert_eq!(c.two_qubit_gate_count(), 560);
+    }
+
+    #[test]
+    fn every_two_qubit_gate_is_grid_nearest_neighbor() {
+        let cols = 8usize;
+        let c = supremacy_paper();
+        for op in c.iter() {
+            if let crate::circuit::Operation::TwoQubit { a, b, .. } = op {
+                let (ar, ac) = (a.index() / cols, a.index() % cols);
+                let (br, bc) = (b.index() / cols, b.index() % cols);
+                let manhattan = ar.abs_diff(br) + ac.abs_diff(bc);
+                assert_eq!(manhattan, 1, "gate {a}-{b} is not grid-adjacent");
+            }
+        }
+    }
+
+    #[test]
+    fn single_qubit_layer_never_repeats_gate_on_same_qubit() {
+        let c = supremacy(4, 4, 8, 7);
+        let mut last: Vec<Option<OneQubitGate>> = vec![None; 16];
+        for op in c.iter() {
+            if let crate::circuit::Operation::OneQubit { gate, q } = op {
+                assert_ne!(last[q.index()], Some(*gate), "repeated 1q gate on {q}");
+                last[q.index()] = Some(*gate);
+            }
+        }
+    }
+
+    #[test]
+    fn seed_changes_single_qubit_layers_but_not_structure() {
+        let a = supremacy(4, 4, 4, 1);
+        let b = supremacy(4, 4, 4, 2);
+        assert_ne!(a, b);
+        assert_eq!(a.two_qubit_gate_count(), b.two_qubit_gate_count());
+        assert_eq!(a.len(), b.len());
+    }
+
+    #[test]
+    fn measures_every_qubit_once() {
+        let c = supremacy(3, 5, 2, 0);
+        assert_eq!(c.measure_count(), 15);
+    }
+
+    #[test]
+    fn layer_gate_counts_follow_masks() {
+        // 8x8: masks A=32, C=32, B=24, D=24; one full cycle = 112.
+        let c = supremacy(8, 8, 4, 0);
+        assert_eq!(c.two_qubit_gate_count(), 112);
+    }
+
+    #[test]
+    fn classified_as_local_pattern() {
+        use crate::analysis::CommunicationPattern as P;
+        let stats = CircuitStats::of(&supremacy_paper());
+        // Row-major numbering makes vertical grid couplings distance-8 in
+        // index space, i.e. local relative to 64 qubits.
+        assert!(matches!(stats.pattern, P::NearestNeighbor | P::ShortRange));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_sized_grid_panics() {
+        let _ = supremacy(0, 3, 1, 0);
+    }
+}

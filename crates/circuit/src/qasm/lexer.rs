@@ -1,0 +1,273 @@
+//! Tokenizer for the OpenQASM 2.0 subset.
+
+use std::fmt;
+
+/// A lexical token with its source line (1-based) for error reporting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`qreg`, `h`, `pi`, …).
+    Ident(String),
+    /// Numeric literal (integer or float, possibly exponent form).
+    Number(f64),
+    /// String literal (only used by `include`).
+    Str(String),
+    /// `;`
+    Semicolon,
+    /// `,`
+    Comma,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `->`
+    Arrow,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Ident(s) => write!(f, "identifier `{s}`"),
+            TokenKind::Number(v) => write!(f, "number `{v}`"),
+            TokenKind::Str(s) => write!(f, "string \"{s}\""),
+            TokenKind::Semicolon => f.write_str("`;`"),
+            TokenKind::Comma => f.write_str("`,`"),
+            TokenKind::LParen => f.write_str("`(`"),
+            TokenKind::RParen => f.write_str("`)`"),
+            TokenKind::LBracket => f.write_str("`[`"),
+            TokenKind::RBracket => f.write_str("`]`"),
+            TokenKind::Arrow => f.write_str("`->`"),
+            TokenKind::Plus => f.write_str("`+`"),
+            TokenKind::Minus => f.write_str("`-`"),
+            TokenKind::Star => f.write_str("`*`"),
+            TokenKind::Slash => f.write_str("`/`"),
+        }
+    }
+}
+
+/// Tokenizes `src`, skipping whitespace and `//` comments.
+///
+/// Returns the token stream or a `(line, message)` pair describing the
+/// first lexical error.
+pub fn tokenize(src: &str) -> Result<Vec<Token>, (u32, String)> {
+    let mut tokens = Vec::new();
+    let mut line: u32 = 1;
+    let bytes: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+
+    while i < bytes.len() {
+        let ch = bytes[i];
+        match ch {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            '/' if bytes.get(i + 1) == Some(&'/') => {
+                while i < bytes.len() && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            ';' => {
+                tokens.push(Token { kind: TokenKind::Semicolon, line });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Token { kind: TokenKind::Comma, line });
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Token { kind: TokenKind::LParen, line });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Token { kind: TokenKind::RParen, line });
+                i += 1;
+            }
+            '[' => {
+                tokens.push(Token { kind: TokenKind::LBracket, line });
+                i += 1;
+            }
+            ']' => {
+                tokens.push(Token { kind: TokenKind::RBracket, line });
+                i += 1;
+            }
+            '+' => {
+                tokens.push(Token { kind: TokenKind::Plus, line });
+                i += 1;
+            }
+            '*' => {
+                tokens.push(Token { kind: TokenKind::Star, line });
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Token { kind: TokenKind::Slash, line });
+                i += 1;
+            }
+            '-' => {
+                if bytes.get(i + 1) == Some(&'>') {
+                    tokens.push(Token { kind: TokenKind::Arrow, line });
+                    i += 2;
+                } else {
+                    tokens.push(Token { kind: TokenKind::Minus, line });
+                    i += 1;
+                }
+            }
+            '"' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && bytes[j] != '"' {
+                    if bytes[j] == '\n' {
+                        return Err((line, "unterminated string literal".to_owned()));
+                    }
+                    j += 1;
+                }
+                if j >= bytes.len() {
+                    return Err((line, "unterminated string literal".to_owned()));
+                }
+                let s: String = bytes[start..j].iter().collect();
+                tokens.push(Token { kind: TokenKind::Str(s), line });
+                i = j + 1;
+            }
+            c if c.is_ascii_digit() || c == '.' => {
+                let start = i;
+                let mut j = i;
+                let mut seen_exp = false;
+                while j < bytes.len() {
+                    let d = bytes[j];
+                    if d.is_ascii_digit() || d == '.' {
+                        j += 1;
+                    } else if (d == 'e' || d == 'E') && !seen_exp {
+                        seen_exp = true;
+                        j += 1;
+                        if j < bytes.len() && (bytes[j] == '+' || bytes[j] == '-') {
+                            j += 1;
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                let text: String = bytes[start..j].iter().collect();
+                let value: f64 = text
+                    .parse()
+                    .map_err(|_| (line, format!("invalid numeric literal `{text}`")))?;
+                tokens.push(Token { kind: TokenKind::Number(value), line });
+                i = j;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() && (bytes[j].is_ascii_alphanumeric() || bytes[j] == '_') {
+                    j += 1;
+                }
+                let s: String = bytes[start..j].iter().collect();
+                tokens.push(Token { kind: TokenKind::Ident(s), line });
+                i = j;
+            }
+            other => {
+                return Err((line, format!("unexpected character `{other}`")));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn tokenizes_a_statement() {
+        let toks = kinds("cx q[0], q[1];");
+        assert_eq!(
+            toks,
+            vec![
+                TokenKind::Ident("cx".into()),
+                TokenKind::Ident("q".into()),
+                TokenKind::LBracket,
+                TokenKind::Number(0.0),
+                TokenKind::RBracket,
+                TokenKind::Comma,
+                TokenKind::Ident("q".into()),
+                TokenKind::LBracket,
+                TokenKind::Number(1.0),
+                TokenKind::RBracket,
+                TokenKind::Semicolon,
+            ]
+        );
+    }
+
+    #[test]
+    fn arrow_vs_minus() {
+        assert_eq!(
+            kinds("-> - -5"),
+            vec![
+                TokenKind::Arrow,
+                TokenKind::Minus,
+                TokenKind::Minus,
+                TokenKind::Number(5.0)
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_and_lines_tracked() {
+        let toks = tokenize("h q; // a comment\ncx q, r;").unwrap();
+        assert_eq!(toks[0].line, 1);
+        let cx = toks.iter().find(|t| t.kind == TokenKind::Ident("cx".into())).unwrap();
+        assert_eq!(cx.line, 2);
+    }
+
+    #[test]
+    fn numbers_with_exponents_and_dots() {
+        assert_eq!(kinds("2.5e-3"), vec![TokenKind::Number(2.5e-3)]);
+        assert_eq!(kinds(".5"), vec![TokenKind::Number(0.5)]);
+    }
+
+    #[test]
+    fn string_literals() {
+        assert_eq!(
+            kinds("include \"qelib1.inc\";"),
+            vec![
+                TokenKind::Ident("include".into()),
+                TokenKind::Str("qelib1.inc".into()),
+                TokenKind::Semicolon
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_is_an_error() {
+        assert!(tokenize("include \"oops").is_err());
+    }
+
+    #[test]
+    fn unexpected_character_is_an_error() {
+        let err = tokenize("h q; @").unwrap_err();
+        assert!(err.1.contains('@'));
+    }
+}

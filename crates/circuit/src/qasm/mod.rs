@@ -1,0 +1,71 @@
+//! OpenQASM 2.0 subset reader and writer.
+//!
+//! The paper's backend compiler "supports an OpenQASM interface which
+//! allows us to easily interface with high-level language frontends like
+//! Cirq and ScaffCC" (§VIII-A). This module provides that interface for
+//! the gate set used by the benchmark suite:
+//!
+//! * declarations: `qreg`, `creg` (multiple quantum registers are
+//!   flattened into one index space in declaration order);
+//! * gates: `h x y z s sdg t tdg sx rx ry rz u1 p cx cz swap ms`;
+//! * `measure q[i] -> c[j];`, `barrier`;
+//! * angle expressions with `pi`, the four arithmetic operators, unary
+//!   minus and parentheses;
+//! * register broadcast (`h q;` applies to every qubit of `q`).
+//!
+//! `include` statements are accepted and ignored (the standard `qelib1.inc`
+//! gates above are built in). Unsupported constructs (`gate` definitions,
+//! `if`, `opaque`, `reset`) produce a descriptive [`QasmError`].
+//!
+//! # Example
+//!
+//! ```
+//! # fn main() -> Result<(), qccd_circuit::qasm::QasmError> {
+//! let src = r#"
+//!     OPENQASM 2.0;
+//!     include "qelib1.inc";
+//!     qreg q[2];
+//!     creg c[2];
+//!     h q[0];
+//!     cx q[0], q[1];
+//!     measure q -> c;
+//! "#;
+//! let circuit = qccd_circuit::qasm::parse(src)?;
+//! assert_eq!(circuit.num_qubits(), 2);
+//! assert_eq!(circuit.two_qubit_gate_count(), 1);
+//! let text = qccd_circuit::qasm::write(&circuit);
+//! let reparsed = qccd_circuit::qasm::parse(&text)?;
+//! assert_eq!(reparsed.two_qubit_gate_count(), 1);
+//! # Ok(())
+//! # }
+//! ```
+
+mod lexer;
+mod parser;
+mod writer;
+
+pub use parser::{parse, QasmError};
+pub use writer::write;
+
+#[cfg(test)]
+mod tests {
+    use crate::generators;
+
+    #[test]
+    fn benchmark_suite_round_trips_through_qasm() {
+        for bench in generators::Benchmark::ALL {
+            let original = bench.build();
+            let text = super::write(&original);
+            let reparsed = super::parse(&text).unwrap_or_else(|e| {
+                panic!("{bench}: reparse failed: {e}");
+            });
+            assert_eq!(reparsed.num_qubits(), original.num_qubits(), "{bench}");
+            assert_eq!(reparsed.len(), original.len(), "{bench}");
+            assert_eq!(
+                reparsed.two_qubit_gate_count(),
+                original.two_qubit_gate_count(),
+                "{bench}"
+            );
+        }
+    }
+}

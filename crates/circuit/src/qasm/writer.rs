@@ -1,0 +1,104 @@
+//! OpenQASM 2.0 emitter.
+
+use crate::circuit::{Circuit, Operation};
+use crate::gate::OneQubitGate;
+use std::fmt::Write as _;
+
+/// Serializes `circuit` as OpenQASM 2.0 using a single `q` register.
+///
+/// Measurements are emitted as `measure q[i] -> c[i];` into a classical
+/// register sized to the circuit width. The output parses back through
+/// [`crate::qasm::parse`] to an equivalent circuit.
+pub fn write(circuit: &Circuit) -> String {
+    let n = circuit.num_qubits();
+    let mut out = String::with_capacity(64 + circuit.len() * 16);
+    out.push_str("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n");
+    let _ = writeln!(out, "// circuit: {}", circuit.name());
+    let _ = writeln!(out, "qreg q[{n}];");
+    let _ = writeln!(out, "creg c[{n}];");
+    for op in circuit.iter() {
+        match op {
+            Operation::OneQubit { gate, q } => match gate {
+                OneQubitGate::Rx(t) | OneQubitGate::Ry(t) | OneQubitGate::Rz(t) => {
+                    let _ = writeln!(out, "{}({:.17e}) q[{}];", gate.mnemonic(), t, q.0);
+                }
+                OneQubitGate::Phase(t) => {
+                    let _ = writeln!(out, "p({:.17e}) q[{}];", t, q.0);
+                }
+                _ => {
+                    let _ = writeln!(out, "{} q[{}];", gate.mnemonic(), q.0);
+                }
+            },
+            Operation::TwoQubit { gate, a, b } => {
+                let _ = writeln!(out, "{} q[{}], q[{}];", gate.mnemonic(), a.0, b.0);
+            }
+            Operation::Measure { q } => {
+                let _ = writeln!(out, "measure q[{}] -> c[{}];", q.0, q.0);
+            }
+            Operation::Barrier { qs } => {
+                out.push_str("barrier ");
+                for (i, q) in qs.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(out, "q[{}]", q.0);
+                }
+                out.push_str(";\n");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Qubit;
+    use crate::qasm::parse;
+
+    #[test]
+    fn simple_circuit_round_trips() {
+        let mut c = Circuit::new("rt", 3);
+        c.h(Qubit(0));
+        c.rz(1.25, Qubit(1));
+        c.cx(Qubit(0), Qubit(2));
+        c.swap(Qubit(1), Qubit(2));
+        c.measure_all();
+        let text = write(&c);
+        let back = parse(&text).unwrap();
+        assert_eq!(back.num_qubits(), 3);
+        assert_eq!(back.len(), c.len());
+        assert_eq!(back.two_qubit_gate_count(), 2);
+    }
+
+    #[test]
+    fn angles_survive_round_trip_exactly() {
+        let mut c = Circuit::new("rt", 1);
+        let theta = 0.123_456_789_012_345_68;
+        c.rz(theta, Qubit(0));
+        let back = parse(&write(&c)).unwrap();
+        match &back.operations()[0] {
+            Operation::OneQubit { gate, .. } => {
+                assert_eq!(gate.angle().unwrap(), theta);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn header_declares_registers() {
+        let c = Circuit::new("empty", 5);
+        let text = write(&c);
+        assert!(text.contains("qreg q[5];"));
+        assert!(text.contains("creg c[5];"));
+        assert!(text.starts_with("OPENQASM 2.0;"));
+    }
+
+    #[test]
+    fn barrier_emitted_and_reparsed() {
+        let mut c = Circuit::new("b", 2);
+        c.barrier_all();
+        let back = parse(&write(&c)).unwrap();
+        assert!(matches!(back.operations()[0], Operation::Barrier { .. }));
+    }
+}

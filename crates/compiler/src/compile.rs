@@ -1,0 +1,451 @@
+//! The compilation pass: scheduling, routing, reordering, eviction.
+//!
+//! Walks the circuit's dependency DAG with the *earliest ready gate first*
+//! heuristic (§VI). Single-qubit gates and measurements execute where their
+//! ion lives. For a two-qubit gate whose ions live in different traps, one
+//! ion is shuttled to the other's trap:
+//!
+//! * the first operand's ion moves to the second operand's trap (the
+//!   paper's compiler co-locates at the partner);
+//! * the route is the device's cheapest shuttling path; each leg is
+//!   reorder-if-needed → split → move → merge, exactly the Fig. 4
+//!   sequence;
+//! * if the final destination is full, the resident ion whose next use is
+//!   farthest in the future is evicted to the nearest trap with a free
+//!   slot ("leveraging full knowledge of the program instructions", §VI);
+//! * intermediate traps on multi-leg routes may transiently exceed their
+//!   capacity by the one transiting ion (it merges only to be reordered
+//!   and split out again) — see DESIGN.md.
+//!
+//! Congestion at segments and junctions is resolved by the simulator's
+//! resource timeline: because the executable is a dependency-respecting
+//! total order and every move acquires its whole path, parallel shuttles
+//! serialize at shared resources without deadlock, and time spent queueing
+//! is reported as shuttle wait time (the paper's "wait operations").
+
+use crate::config::{CompilerConfig, ReorderMethod};
+use crate::error::CompileError;
+use crate::executable::{Executable, Inst};
+use crate::lowering::lower_two_qubit;
+use crate::mapping::initial_map;
+use crate::state::MachineState;
+use qccd_circuit::{Circuit, DependencyDag, Operation};
+use qccd_device::{Device, IonId, Side, TrapId};
+
+/// Compiles `circuit` for `device` under `config`.
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] if the circuit is invalid, the device lacks
+/// capacity for the program, or routing is impossible.
+pub fn compile(
+    circuit: &Circuit,
+    device: &Device,
+    config: &CompilerConfig,
+) -> Result<Executable, CompileError> {
+    circuit.validate()?;
+    let placement = initial_map(circuit, device, config.buffer_slots)?;
+    let mut ctx = Ctx {
+        device,
+        config,
+        st: MachineState::new(&placement),
+        out: Vec::new(),
+        uses: uses_by_qubit(circuit),
+        current_op: 0,
+    };
+
+    let dag = DependencyDag::new(circuit);
+    let mut tracker = dag.ready_tracker();
+    while let Some(i) = tracker.pop_earliest() {
+        ctx.current_op = i;
+        match &circuit.operations()[i] {
+            Operation::OneQubit { gate, q } => {
+                let ion = ctx.st.ion_of_qubit(q.0);
+                ctx.out.push(Inst::OneQubit { gate: *gate, ion });
+            }
+            Operation::Measure { q } => {
+                let ion = ctx.st.ion_of_qubit(q.0);
+                ctx.out.push(Inst::Measure { ion });
+            }
+            Operation::Barrier { .. } => {
+                // Pure scheduling fence: the executable is already totally
+                // ordered, so nothing is emitted.
+            }
+            Operation::TwoQubit { gate, a, b } => {
+                ctx.two_qubit_gate(*gate, a.0, b.0)?;
+            }
+        }
+        tracker.complete(i);
+    }
+
+    let final_map = ctx.st.qubit_assignment();
+    Ok(Executable::new(
+        circuit.name().to_owned(),
+        circuit.num_qubits(),
+        placement.chains().to_vec(),
+        ctx.out,
+        final_map,
+    ))
+}
+
+/// Per-qubit sorted lists of the operation indices that use it.
+fn uses_by_qubit(circuit: &Circuit) -> Vec<Vec<usize>> {
+    let mut uses = vec![Vec::new(); circuit.num_qubits() as usize];
+    for (i, op) in circuit.iter().enumerate() {
+        for q in op.qubits() {
+            uses[q.index()].push(i);
+        }
+    }
+    uses
+}
+
+struct Ctx<'a> {
+    device: &'a Device,
+    config: &'a CompilerConfig,
+    st: MachineState,
+    out: Vec<Inst>,
+    uses: Vec<Vec<usize>>,
+    current_op: usize,
+}
+
+impl Ctx<'_> {
+    fn capacity(&self, trap: TrapId) -> usize {
+        self.device.trap(trap).capacity() as usize
+    }
+
+    fn free_slots(&self, trap: TrapId) -> usize {
+        self.capacity(trap).saturating_sub(self.st.chain_len(trap))
+    }
+
+    /// Index of the next operation after the current one that uses `q`,
+    /// or `usize::MAX` if it is never used again.
+    fn next_use(&self, q: u32) -> usize {
+        let uses = &self.uses[q as usize];
+        let pos = uses.partition_point(|&i| i <= self.current_op);
+        uses.get(pos).copied().unwrap_or(usize::MAX)
+    }
+
+    fn two_qubit_gate(
+        &mut self,
+        gate: qccd_circuit::TwoQubitGate,
+        qa: u32,
+        qb: u32,
+    ) -> Result<(), CompileError> {
+        let ta = self
+            .st
+            .trap_of(self.st.ion_of_qubit(qa))
+            .expect("scheduled ions are never in flight");
+        let tb = self
+            .st
+            .trap_of(self.st.ion_of_qubit(qb))
+            .expect("scheduled ions are never in flight");
+        if ta != tb {
+            // Co-locate at the second operand's trap (the paper's compiler
+            // shuttles the gate's ion to its partner), evicting a resident
+            // when the destination is full.
+            self.shuttle_qubit(qa, tb, &[qa, qb])?;
+        }
+        let ia = self.st.ion_of_qubit(qa);
+        let ib = self.st.ion_of_qubit(qb);
+        lower_two_qubit(gate, ia, ib, &mut self.out);
+        Ok(())
+    }
+
+    /// Shuttles the ion carrying qubit `q` to trap `dest`, leg by leg.
+    /// `protected` qubits may not be evicted to make room.
+    fn shuttle_qubit(
+        &mut self,
+        q: u32,
+        dest: TrapId,
+        protected: &[u32],
+    ) -> Result<(), CompileError> {
+        loop {
+            let ion = self.st.ion_of_qubit(q);
+            let src = self
+                .st
+                .trap_of(ion)
+                .expect("shuttled ions are between ops, not in flight");
+            if src == dest {
+                return Ok(());
+            }
+            let route = self.device.route(src, dest)?;
+            let leg = route.legs()[0].clone();
+            if leg.to == dest && self.free_slots(dest) == 0 {
+                self.evict_one(dest, protected)?;
+            }
+            // Re-read the carrier: the eviction's own transit reorders may
+            // have gate-swapped q onto a different ion in `src`.
+            let ion = self.st.ion_of_qubit(q);
+            // Reorder so the qubit's ion sits at the departure end.
+            self.reorder_to_end(ion, src, leg.exit_side);
+            let ion = self.st.ion_of_qubit(q); // GS may have relabelled
+            self.out.push(Inst::Split {
+                ion,
+                trap: src,
+                side: leg.exit_side,
+            });
+            self.st.remove_end(ion, src, leg.exit_side);
+            self.out.push(Inst::Move {
+                ion,
+                leg: leg.clone(),
+            });
+            self.out.push(Inst::Merge {
+                ion,
+                trap: leg.to,
+                side: leg.entry_side,
+            });
+            self.st.insert_end(ion, leg.to, leg.entry_side);
+        }
+    }
+
+    /// Brings `ion` to the `side` end of `trap` using the configured
+    /// chain-reordering method. No-op if it is already there.
+    fn reorder_to_end(&mut self, ion: IonId, trap: TrapId, side: Side) {
+        match self.config.reorder {
+            ReorderMethod::GateSwap => {
+                let end = self
+                    .st
+                    .end_ion(trap, side)
+                    .expect("reorder on a non-empty chain");
+                if end != ion {
+                    self.out.push(Inst::SwapGate { a: ion, b: end });
+                    self.st.swap_states(ion, end);
+                }
+            }
+            ReorderMethod::IonSwap => loop {
+                let pos = self.st.position(ion);
+                let chain = self.st.chain(trap);
+                let target = match side {
+                    Side::Left => 0,
+                    Side::Right => chain.len() - 1,
+                };
+                if pos == target {
+                    break;
+                }
+                let neighbor = if target > pos {
+                    chain[pos + 1]
+                } else {
+                    chain[pos - 1]
+                };
+                self.out.push(Inst::IonSwap {
+                    a: ion,
+                    b: neighbor,
+                });
+                self.st.swap_positions(ion, neighbor);
+            },
+        }
+    }
+
+    /// Evicts one resident of full trap `trap` — the ion whose next use is
+    /// farthest away — to the most spacious reachable trap.
+    fn evict_one(&mut self, trap: TrapId, protected: &[u32]) -> Result<(), CompileError> {
+        // Victim: unprotected resident with the farthest next use; ties
+        // broken toward chain ends (cheaper reorder).
+        let chain = self.st.chain(trap).to_vec();
+        let victim_qubit = chain
+            .iter()
+            .map(|&ion| self.st.qubit_of_ion(ion))
+            .filter(|q| !protected.contains(q))
+            .max_by_key(|&q| (self.next_use(q), std::cmp::Reverse(q)))
+            .ok_or(CompileError::CapacityExhausted { trap })?;
+
+        // Target: the nearest trap with free room (shortest eviction
+        // route), preferring more room then lower ids on ties.
+        let target = self
+            .device
+            .trap_ids()
+            .filter(|&t| t != trap && self.free_slots(t) > 0)
+            .filter_map(|t| {
+                self.device
+                    .route(trap, t)
+                    .ok()
+                    .map(|r| (t, r.legs().len()))
+            })
+            .min_by_key(|&(t, legs)| (legs, std::cmp::Reverse(self.free_slots(t)), t.0))
+            .map(|(t, _)| t)
+            .ok_or(CompileError::CapacityExhausted { trap })?;
+        self.shuttle_qubit(victim_qubit, target, protected)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qccd_circuit::{generators, Qubit};
+    use qccd_device::presets;
+
+    fn cfg() -> CompilerConfig {
+        CompilerConfig::default()
+    }
+
+    #[test]
+    fn same_trap_gate_needs_no_shuttling() {
+        let mut c = Circuit::new("t", 2);
+        c.cx(Qubit(0), Qubit(1));
+        let exe = compile(&c, &presets::l6(20), &cfg()).unwrap();
+        let counts = exe.counts();
+        assert_eq!(counts.two_qubit_gates, 1);
+        assert_eq!(counts.communication_ops(), 0);
+        assert_eq!(counts.one_qubit_gates, crate::lowering::WRAPPERS_PER_CX);
+    }
+
+    #[test]
+    fn cross_trap_gate_inserts_split_move_merge() {
+        // 40 qubits on L6(12): buffer 2 → 10 per trap; qubits 0 and 39 land
+        // in different traps.
+        let mut c = Circuit::new("t", 40);
+        for i in 0..40 {
+            c.h(Qubit(i)); // pin first-use order to index order
+        }
+        c.cx(Qubit(0), Qubit(39));
+        let exe = compile(&c, &presets::l6(12), &cfg()).unwrap();
+        let counts = exe.counts();
+        assert!(counts.splits >= 1);
+        assert_eq!(counts.splits, counts.merges);
+        assert_eq!(counts.splits, counts.moves);
+        assert_eq!(counts.two_qubit_gates, 1);
+    }
+
+    #[test]
+    fn linear_long_route_reorders_at_intermediates_gs() {
+        // Qubit 0 (trap 0) must meet qubit 39 (trap 3 with capacity 12 and
+        // buffer 2): multi-leg route through full-ish intermediate traps
+        // triggers gate-based swaps.
+        let mut c = Circuit::new("t", 40);
+        for i in 0..40 {
+            c.h(Qubit(i)); // pin first-use order to index order
+        }
+        c.cx(Qubit(39), Qubit(0));
+        let exe = compile(&c, &presets::l6(12), &cfg()).unwrap();
+        let counts = exe.counts();
+        assert!(counts.swap_gates > 0, "expected GS reorders on linear route");
+        assert_eq!(counts.ion_swaps, 0);
+    }
+
+    #[test]
+    fn ion_swap_reordering_emits_is_ops() {
+        let mut c = Circuit::new("t", 40);
+        for i in 0..40 {
+            c.h(Qubit(i)); // pin first-use order to index order
+        }
+        c.cx(Qubit(39), Qubit(0));
+        let config = CompilerConfig::with_reorder(ReorderMethod::IonSwap);
+        let exe = compile(&c, &presets::l6(12), &config).unwrap();
+        let counts = exe.counts();
+        assert!(counts.ion_swaps > 0, "expected IS reorders on linear route");
+        assert_eq!(counts.swap_gates, 0);
+    }
+
+    #[test]
+    fn grid_routes_cross_junctions_not_traps() {
+        let mut c = Circuit::new("t", 40);
+        for i in 0..40 {
+            c.h(Qubit(i)); // pin first-use order to index order
+        }
+        c.cx(Qubit(0), Qubit(39));
+        let exe = compile(&c, &presets::g2x3(12), &cfg()).unwrap();
+        let counts = exe.counts();
+        // One leg: one split/move/merge, junction crossings charged. A
+        // single *source-side* reorder may still occur (the grid only
+        // removes intermediate-trap reorders).
+        assert_eq!(counts.splits, 1);
+        assert_eq!(counts.moves, 1);
+        assert!(counts.junction_crossings >= 1);
+        assert!(counts.swap_gates <= 1);
+        assert_eq!(counts.ion_swaps, 0);
+    }
+
+    #[test]
+    fn eviction_makes_room_in_full_traps() {
+        // Two traps of capacity 3; 5 qubits: T0=[0,1,2] (relaxed buffer),
+        // T1=[3,4]. A gate (0,3) moves 0 into T1; gates pile ions into one
+        // trap until eviction is forced.
+        let mut c = Circuit::new("t", 5);
+        c.cx(Qubit(0), Qubit(3));
+        c.cx(Qubit(1), Qubit(3));
+        c.cx(Qubit(2), Qubit(3));
+        c.cx(Qubit(4), Qubit(3));
+        let d = presets::linear(2, 3, 4);
+        let exe = compile(&c, &d, &cfg()).unwrap();
+        // All gates compiled.
+        assert_eq!(exe.counts().two_qubit_gates, 4);
+        // Replay to confirm capacity is never exceeded at a *final* merge:
+        // the executable is validated structurally by the simulator crate;
+        // here we just require eviction traffic to exist.
+        assert!(exe.counts().communication_ops() > 3);
+    }
+
+    #[test]
+    fn measure_and_one_qubit_gates_follow_the_qubit_not_the_ion() {
+        // After a GS swap, qubit 0's state rides a different ion; gates on
+        // qubit 0 must target that ion.
+        let mut c = Circuit::new("t", 40);
+        c.cx(Qubit(39), Qubit(0)); // forces reorder swaps on L6(12)
+        c.h(Qubit(39));
+        c.measure(Qubit(39));
+        let exe = compile(&c, &presets::l6(12), &cfg()).unwrap();
+        let final_map = exe.final_qubit_of_ion();
+        // The measure instruction's ion must carry qubit 39 at the end.
+        let measure_ion = exe
+            .instructions()
+            .iter()
+            .find_map(|i| match i {
+                Inst::Measure { ion } => Some(*ion),
+                _ => None,
+            })
+            .expect("measure emitted");
+        assert_eq!(final_map[measure_ion.index()], 39);
+    }
+
+    #[test]
+    fn qaoa_needs_no_reordering_on_linear_devices() {
+        // The Fig. 8 observation: GS and IS coincide for QAOA because its
+        // nearest-neighbour gates always depart from chain ends.
+        let c = generators::qaoa(30, 2, 7);
+        for reorder in ReorderMethod::ALL {
+            let exe = compile(
+                &c,
+                &presets::l6(8),
+                &CompilerConfig::with_reorder(reorder),
+            )
+            .unwrap();
+            let counts = exe.counts();
+            assert_eq!(counts.swap_gates, 0, "{reorder}");
+            assert_eq!(counts.ion_swaps, 0, "{reorder}");
+        }
+    }
+
+    #[test]
+    fn split_merge_move_counts_always_balance() {
+        let c = generators::random_circuit(24, 200, 0.4, 11);
+        let exe = compile(&c, &presets::l6(8), &cfg()).unwrap();
+        let counts = exe.counts();
+        assert_eq!(counts.splits, counts.merges);
+        assert_eq!(counts.splits, counts.moves);
+    }
+
+    #[test]
+    fn every_source_gate_reaches_the_executable() {
+        let c = generators::random_circuit(20, 150, 0.5, 3);
+        let exe = compile(&c, &presets::g2x3(8), &cfg()).unwrap();
+        let counts = exe.counts();
+        assert_eq!(counts.two_qubit_gates, c.two_qubit_gate_count());
+        assert_eq!(counts.measurements, c.measure_count());
+    }
+
+    #[test]
+    fn insufficient_capacity_is_reported() {
+        let c = generators::qft(100);
+        let err = compile(&c, &presets::l6(14), &cfg()).unwrap_err();
+        assert!(matches!(err, CompileError::InsufficientCapacity { .. }));
+    }
+
+    #[test]
+    fn compilation_is_deterministic() {
+        let c = generators::random_circuit(24, 300, 0.4, 5);
+        let d = presets::g2x3(10);
+        let a = compile(&c, &d, &cfg()).unwrap();
+        let b = compile(&c, &d, &cfg()).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,126 @@
+//! Compiler configuration: the microarchitectural chain-reordering choice
+//! and mapping parameters.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// How a chain is reconfigured to bring an ion to the end it must depart
+/// from (paper §IV-C, Fig. 5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReorderMethod {
+    /// Gate-based swapping (GS): one SWAP gate (3 MS gates) exchanges the
+    /// *quantum states* of an arbitrary ion pair; the ion already at the
+    /// chain end then departs carrying the right state.
+    GateSwap,
+    /// Physical ion swapping (IS): the ion is moved to the end hop by hop;
+    /// each hop is a split, a 180° rotation of the adjacent pair, and a
+    /// merge (Kaufmann et al. 2017).
+    IonSwap,
+}
+
+impl ReorderMethod {
+    /// Both methods, GS first (the paper's recommendation).
+    pub const ALL: [ReorderMethod; 2] = [ReorderMethod::GateSwap, ReorderMethod::IonSwap];
+
+    /// Two-letter name as used in the paper's figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ReorderMethod::GateSwap => "GS",
+            ReorderMethod::IonSwap => "IS",
+        }
+    }
+}
+
+impl fmt::Display for ReorderMethod {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing an unknown reorder-method name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseReorderError {
+    name: String,
+}
+
+impl fmt::Display for ParseReorderError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown reorder method `{}` (expected GS or IS)", self.name)
+    }
+}
+
+impl std::error::Error for ParseReorderError {}
+
+impl FromStr for ReorderMethod {
+    type Err = ParseReorderError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_uppercase().as_str() {
+            "GS" | "GATESWAP" | "GATE_SWAP" => Ok(ReorderMethod::GateSwap),
+            "IS" | "IONSWAP" | "ION_SWAP" => Ok(ReorderMethod::IonSwap),
+            other => Err(ParseReorderError {
+                name: other.to_owned(),
+            }),
+        }
+    }
+}
+
+/// Compiler knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CompilerConfig {
+    /// Chain-reordering method.
+    pub reorder: ReorderMethod,
+    /// Buffer slots the initial mapping leaves free per trap for incoming
+    /// shuttles (the paper leaves room for 2). Relaxed automatically when
+    /// the program would not otherwise fit.
+    pub buffer_slots: u32,
+}
+
+impl Default for CompilerConfig {
+    /// GS reordering with 2 buffer slots — the paper's defaults.
+    fn default() -> Self {
+        CompilerConfig {
+            reorder: ReorderMethod::GateSwap,
+            buffer_slots: 2,
+        }
+    }
+}
+
+impl CompilerConfig {
+    /// Config with the given reorder method and default buffering.
+    pub fn with_reorder(reorder: ReorderMethod) -> Self {
+        CompilerConfig {
+            reorder,
+            ..CompilerConfig::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = CompilerConfig::default();
+        assert_eq!(c.reorder, ReorderMethod::GateSwap);
+        assert_eq!(c.buffer_slots, 2);
+    }
+
+    #[test]
+    fn reorder_names_round_trip() {
+        for m in ReorderMethod::ALL {
+            assert_eq!(m.name().parse::<ReorderMethod>().unwrap(), m);
+        }
+        assert_eq!("is".parse::<ReorderMethod>().unwrap(), ReorderMethod::IonSwap);
+        assert!("xy".parse::<ReorderMethod>().is_err());
+    }
+
+    #[test]
+    fn with_reorder_keeps_buffer() {
+        let c = CompilerConfig::with_reorder(ReorderMethod::IonSwap);
+        assert_eq!(c.reorder, ReorderMethod::IonSwap);
+        assert_eq!(c.buffer_slots, 2);
+    }
+}

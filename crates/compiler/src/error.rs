@@ -1,0 +1,87 @@
+//! Compiler error type.
+
+use qccd_circuit::circuit::CircuitError;
+use qccd_device::RouteError;
+use std::fmt;
+
+/// Errors produced by [`crate::compile()`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The input circuit failed validation.
+    InvalidCircuit(CircuitError),
+    /// The device cannot hold the program's qubits.
+    InsufficientCapacity {
+        /// Program qubits to place.
+        needed: u32,
+        /// Total device capacity.
+        capacity: u32,
+    },
+    /// No trap anywhere had a free slot for an eviction.
+    CapacityExhausted {
+        /// The trap that needed room.
+        trap: qccd_device::TrapId,
+    },
+    /// Routing failed (disconnected device).
+    Routing(RouteError),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::InvalidCircuit(e) => write!(f, "invalid circuit: {e}"),
+            CompileError::InsufficientCapacity { needed, capacity } => write!(
+                f,
+                "program needs {needed} qubits but the device holds at most {capacity} ions"
+            ),
+            CompileError::CapacityExhausted { trap } => write!(
+                f,
+                "no free slot anywhere to evict an ion from full trap {trap}"
+            ),
+            CompileError::Routing(e) => write!(f, "routing failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CompileError::InvalidCircuit(e) => Some(e),
+            CompileError::Routing(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CircuitError> for CompileError {
+    fn from(e: CircuitError) -> Self {
+        CompileError::InvalidCircuit(e)
+    }
+}
+
+impl From<RouteError> for CompileError {
+    fn from(e: RouteError) -> Self {
+        CompileError::Routing(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_descriptive() {
+        let e = CompileError::InsufficientCapacity {
+            needed: 78,
+            capacity: 60,
+        };
+        assert!(e.to_string().contains("78"));
+        assert!(e.to_string().contains("60"));
+    }
+
+    #[test]
+    fn wraps_sources() {
+        use std::error::Error;
+        let e = CompileError::Routing(RouteError::SameTrap(qccd_device::TrapId(1)));
+        assert!(e.source().is_some());
+    }
+}

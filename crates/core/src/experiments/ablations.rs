@@ -1,0 +1,241 @@
+//! Ablation studies for the design choices DESIGN.md calls out.
+//!
+//! These go beyond the paper's figures and probe the sensitivity of its
+//! conclusions to our modeling/compiler choices:
+//!
+//! * [`buffer_sweep`] — the mapping buffer ("leave room for 2 incoming
+//!   ions per trap", §VI): how do 0–4 reserved slots change shuttling
+//!   volume and reliability?
+//! * [`heating_ablation`] — the chain-size-scaled k₁ hot-spot refinement
+//!   (DESIGN.md §4.3) versus the strict constant-k₁ reading of §VII-B.
+//! * [`junction_cost_sweep`] — sensitivity of the Fig. 7 topology verdict
+//!   to the junction crossing cost (Table I prices X junctions at 120 µs).
+//! * [`device_size_sweep`] — the §VIII-B device range ("we evaluate
+//!   architectures with 50–200 qubits"): linear devices with 4–10 traps
+//!   at fixed capacity.
+
+use super::{series_of, Figure, Panel};
+use crate::sweep::parallel_map;
+use crate::toolflow::Toolflow;
+use qccd_circuit::Circuit;
+use qccd_compiler::CompilerConfig;
+use qccd_device::presets;
+use qccd_physics::{HeatingModel, PhysicalModel, ShuttleTimes};
+use qccd_sim::SimReport;
+
+/// Sweeps the mapping buffer (reserved slots per trap) for one circuit on
+/// L6 at the given capacity.
+pub fn buffer_sweep(circuit: &Circuit, capacity: u32, buffers: &[u32]) -> Figure {
+    let outcomes: Vec<Option<SimReport>> = parallel_map(buffers, |&buffer_slots| {
+        let config = CompilerConfig {
+            buffer_slots,
+            ..CompilerConfig::default()
+        };
+        Toolflow::with_config(presets::l6(capacity), PhysicalModel::default(), config)
+            .run(circuit)
+            .ok()
+    });
+    Figure {
+        id: "A1".into(),
+        caption: format!(
+            "Mapping buffer ablation: {} on L6({capacity})",
+            circuit.name()
+        ),
+        panels: vec![Panel {
+            id: "A1".into(),
+            title: "reserved slots per trap".into(),
+            y_label: "fidelity / splits / time (s)".into(),
+            x: buffers.to_vec(),
+            series: vec![
+                series_of("fidelity", &outcomes, |r: &SimReport| r.fidelity()),
+                series_of("splits", &outcomes, |r: &SimReport| r.counts.splits as f64),
+                series_of("time_s", &outcomes, |r: &SimReport| r.total_time_s()),
+            ],
+        }],
+    }
+}
+
+/// Compares the chain-size-scaled hot-spot heating model against the
+/// strict constant-k₁ reading across trap capacities.
+pub fn heating_ablation(circuit: &Circuit, capacities: &[u32]) -> Figure {
+    let run = |heating: HeatingModel| -> Vec<Option<SimReport>> {
+        parallel_map(capacities, |&cap| {
+            let model = PhysicalModel {
+                heating,
+                ..PhysicalModel::default()
+            };
+            Toolflow::new(presets::l6(cap), model).run(circuit).ok()
+        })
+    };
+    let scaled = run(HeatingModel::PAPER);
+    let constant = run(HeatingModel::CONSTANT_K1);
+    Figure {
+        id: "A2".into(),
+        caption: format!(
+            "Heating-model ablation (scaled k1 vs constant k1): {}",
+            circuit.name()
+        ),
+        panels: vec![
+            Panel {
+                id: "A2-fidelity".into(),
+                title: "application fidelity".into(),
+                y_label: "fidelity".into(),
+                x: capacities.to_vec(),
+                series: vec![
+                    series_of("scaled-k1", &scaled, |r: &SimReport| r.fidelity()),
+                    series_of("constant-k1", &constant, |r: &SimReport| r.fidelity()),
+                ],
+            },
+            Panel {
+                id: "A2-energy".into(),
+                title: "peak motional occupation".into(),
+                y_label: "quanta".into(),
+                x: capacities.to_vec(),
+                series: vec![
+                    series_of("scaled-k1", &scaled, |r: &SimReport| {
+                        r.peak_motional_energy
+                    }),
+                    series_of("constant-k1", &constant, |r: &SimReport| {
+                        r.peak_motional_energy
+                    }),
+                ],
+            },
+        ],
+    }
+}
+
+/// Sensitivity of the grid-vs-linear comparison to the X-junction crossing
+/// time (multiplied by the given factors).
+pub fn junction_cost_sweep(circuit: &Circuit, capacity: u32, factors: &[u32]) -> Figure {
+    let cells: Vec<(u32, u8)> = factors
+        .iter()
+        .flat_map(|&f| [(f, 0u8), (f, 1u8)])
+        .collect();
+    let outcomes = parallel_map(&cells, |&(factor, topo)| {
+        let shuttle = ShuttleTimes {
+            junction_x: ShuttleTimes::TABLE_I.junction_x * f64::from(factor),
+            junction_y: ShuttleTimes::TABLE_I.junction_y * f64::from(factor),
+            ..ShuttleTimes::TABLE_I
+        };
+        let model = PhysicalModel {
+            shuttle,
+            ..PhysicalModel::default()
+        };
+        let device = if topo == 0 {
+            presets::l6(capacity)
+        } else {
+            presets::g2x3(capacity)
+        };
+        Toolflow::new(device, model).run(circuit).ok()
+    });
+    let row = |topo: u8| -> Vec<Option<SimReport>> {
+        cells
+            .iter()
+            .zip(outcomes.iter())
+            .filter(|((_, t), _)| *t == topo)
+            .map(|(_, o)| o.clone())
+            .collect()
+    };
+    Figure {
+        id: "A3".into(),
+        caption: format!(
+            "Junction-cost sensitivity: {} at capacity {capacity}",
+            circuit.name()
+        ),
+        panels: vec![Panel {
+            id: "A3".into(),
+            title: "junction time multiplier".into(),
+            y_label: "time (s)".into(),
+            x: factors.to_vec(),
+            series: vec![
+                series_of("linear", &row(0), |r: &SimReport| r.total_time_s()),
+                series_of("grid", &row(1), |r: &SimReport| r.total_time_s()),
+            ],
+        }],
+    }
+}
+
+/// Sweeps the number of traps in a linear device at fixed capacity — the
+/// §VIII-B 50–200-qubit device range.
+pub fn device_size_sweep(circuit: &Circuit, trap_counts: &[u32], capacity: u32) -> Figure {
+    let outcomes: Vec<Option<SimReport>> = parallel_map(trap_counts, |&n| {
+        Toolflow::new(
+            presets::linear(n, capacity, presets::DEFAULT_LINEAR_SPACING),
+            PhysicalModel::default(),
+        )
+        .run(circuit)
+        .ok()
+    });
+    Figure {
+        id: "A4".into(),
+        caption: format!(
+            "Device-size sweep: {} on linear devices of capacity {capacity}",
+            circuit.name()
+        ),
+        panels: vec![Panel {
+            id: "A4".into(),
+            title: "trap count".into(),
+            y_label: "fidelity / time (s)".into(),
+            x: trap_counts.to_vec(),
+            series: vec![
+                series_of("fidelity", &outcomes, |r: &SimReport| r.fidelity()),
+                series_of("time_s", &outcomes, |r: &SimReport| r.total_time_s()),
+                series_of("splits", &outcomes, |r: &SimReport| r.counts.splits as f64),
+            ],
+        }],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qccd_circuit::generators;
+
+    fn mini() -> Circuit {
+        generators::qaoa(20, 1, 5)
+    }
+
+    #[test]
+    fn buffer_sweep_covers_requested_points() {
+        let fig = buffer_sweep(&mini(), 8, &[0, 2, 4]);
+        let p = &fig.panels[0];
+        assert_eq!(p.x, vec![0, 2, 4]);
+        assert!(p.series.iter().all(|s| s.y.len() == 3));
+        // Larger buffers cannot make the program unmappable here.
+        assert!(p.series[0].y.iter().all(|y| y.is_some()));
+    }
+
+    #[test]
+    fn heating_ablation_constant_k1_never_hotter() {
+        let fig = heating_ablation(&mini(), &[8, 12]);
+        let energy = fig.panel("A2-energy").unwrap();
+        for i in 0..2 {
+            let scaled = energy.series[0].y[i].unwrap();
+            let constant = energy.series[1].y[i].unwrap();
+            assert!(constant <= scaled + 1e-12, "constant k1 hotter at {i}");
+        }
+    }
+
+    #[test]
+    fn junction_cost_hurts_grid_only() {
+        let fig = junction_cost_sweep(&mini(), 8, &[1, 4]);
+        let p = &fig.panels[0];
+        let linear_cheap = p.series[0].y[0].unwrap();
+        let linear_dear = p.series[0].y[1].unwrap();
+        let grid_cheap = p.series[1].y[0].unwrap();
+        let grid_dear = p.series[1].y[1].unwrap();
+        assert!((linear_cheap - linear_dear).abs() < 1e-9, "linear has no junctions");
+        assert!(grid_dear >= grid_cheap, "grid pays junction costs");
+    }
+
+    #[test]
+    fn device_size_sweep_marks_infeasible_small_devices() {
+        let circuit = generators::qaoa(40, 1, 5);
+        let fig = device_size_sweep(&circuit, &[2, 6, 8], 8);
+        let p = &fig.panels[0];
+        // 2 traps × 8 = 16 slots < 40 qubits; 6 and 8 traps fit.
+        assert!(p.series[0].y[0].is_none());
+        assert!(p.series[0].y[1].is_some());
+        assert!(p.series[0].y[2].is_some());
+    }
+}

@@ -1,0 +1,198 @@
+//! Figure 6 — trap sizing choices (§IX-A).
+//!
+//! "Experiments use L6 device, with FM two-qubit gates and GS chain
+//! reordering. Capacity denotes the maximum number of ions in an
+//! individual trap." The study sweeps capacities 14–34 and reports, per
+//! application: runtime (6a), QFT compute/communication decomposition
+//! (6b), fidelity (6c–6e), peak motional energy (6f) and the Supremacy
+//! MS-gate error breakdown (6g).
+
+use super::{series_of, Figure, Panel, Series};
+use crate::sweep::parallel_map;
+use crate::toolflow::Toolflow;
+use qccd_circuit::{generators, Circuit};
+use qccd_compiler::CompilerConfig;
+use qccd_device::presets;
+use qccd_physics::{GateImpl, PhysicalModel};
+use qccd_sim::SimReport;
+
+/// Runs the Fig. 6 study on the full Table II suite.
+pub fn generate(capacities: &[u32]) -> Figure {
+    generate_with_suite(&generators::paper_suite(), capacities)
+}
+
+/// Runs the Fig. 6 study on a custom benchmark suite (used by tests and
+/// scaled-down quick runs).
+pub fn generate_with_suite(suite: &[Circuit], capacities: &[u32]) -> Figure {
+    let model = PhysicalModel::with_gate(GateImpl::Fm);
+    let config = CompilerConfig::default();
+
+    // Evaluate the (app × capacity) matrix in parallel.
+    let cells: Vec<(usize, u32)> = suite
+        .iter()
+        .enumerate()
+        .flat_map(|(a, _)| capacities.iter().map(move |&c| (a, c)))
+        .collect();
+    let outcomes = parallel_map(&cells, |&(a, cap)| {
+        Toolflow::with_config(presets::l6(cap), model, config)
+            .run(&suite[a])
+            .ok()
+    });
+    // Reshape into per-app rows.
+    let per_app: Vec<Vec<Option<SimReport>>> = suite
+        .iter()
+        .enumerate()
+        .map(|(a, _)| {
+            cells
+                .iter()
+                .zip(outcomes.iter())
+                .filter(|((ai, _), _)| *ai == a)
+                .map(|(_, o)| o.clone())
+                .collect()
+        })
+        .collect();
+
+    let x: Vec<u32> = capacities.to_vec();
+    let app_series = |get: &dyn Fn(&SimReport) -> f64| -> Vec<Series> {
+        suite
+            .iter()
+            .zip(per_app.iter())
+            .map(|(c, row)| series_of(c.name(), row, get))
+            .collect()
+    };
+
+    let mut panels = Vec::new();
+    panels.push(Panel {
+        id: "6a".into(),
+        title: "Performance".into(),
+        y_label: "time (s)".into(),
+        x: x.clone(),
+        series: app_series(&|r| r.total_time_s()),
+    });
+
+    // 6b: QFT computation vs communication (the suite's QFT-like entry is
+    // matched by name prefix so scaled suites work too).
+    if let Some(qft_idx) = suite.iter().position(|c| c.name().starts_with("qft")) {
+        panels.push(Panel {
+            id: "6b".into(),
+            title: "QFT performance analysis".into(),
+            y_label: "time (s)".into(),
+            x: x.clone(),
+            series: vec![
+                series_of("computation", &per_app[qft_idx], |r| {
+                    r.time.compute_us * 1e-6
+                }),
+                series_of("communication", &per_app[qft_idx], |r| {
+                    r.time.communication_us * 1e-6
+                }),
+            ],
+        });
+    }
+
+    for (id, title, names) in [
+        ("6c", "Adder/BV fidelities", vec!["adder", "bv"]),
+        ("6d", "Supremacy/QAOA fidelities", vec!["supremacy", "qaoa"]),
+        ("6e", "SquareRoot/QFT fidelities", vec!["squareroot", "qft"]),
+    ] {
+        let series: Vec<Series> = suite
+            .iter()
+            .zip(per_app.iter())
+            .filter(|(c, _)| names.iter().any(|n| c.name().starts_with(n)))
+            .map(|(c, row)| series_of(c.name(), row, |r: &SimReport| r.fidelity()))
+            .collect();
+        if !series.is_empty() {
+            panels.push(Panel {
+                id: id.into(),
+                title: title.into(),
+                y_label: "fidelity".into(),
+                x: x.clone(),
+                series,
+            });
+        }
+    }
+
+    panels.push(Panel {
+        id: "6f".into(),
+        title: "Motional mode trends".into(),
+        y_label: "max motional energy (quanta)".into(),
+        x: x.clone(),
+        series: app_series(&|r| r.peak_motional_energy),
+    });
+
+    if let Some(sup_idx) = suite
+        .iter()
+        .position(|c| c.name().starts_with("supremacy"))
+    {
+        panels.push(Panel {
+            id: "6g".into(),
+            title: "Supremacy fidelity analysis".into(),
+            y_label: "MS gate error contribution".into(),
+            x: x.clone(),
+            series: vec![
+                series_of("motional", &per_app[sup_idx], |r| {
+                    r.mean_ms_motional_error()
+                }),
+                series_of("background", &per_app[sup_idx], |r| {
+                    r.mean_ms_background_error()
+                }),
+            ],
+        });
+    }
+
+    Figure {
+        id: "6".into(),
+        caption: "Trap sizing choices (L6 device, FM two-qubit gates, GS chain reordering)"
+            .into(),
+        panels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qccd_circuit::generators;
+
+    fn mini_suite() -> Vec<Circuit> {
+        vec![
+            generators::qft(10),
+            generators::bv(&[true; 11]),
+            generators::supremacy(3, 4, 4, 1),
+        ]
+    }
+
+    #[test]
+    fn mini_fig6_has_expected_panels() {
+        let fig = generate_with_suite(&mini_suite(), &[6, 10]);
+        assert!(fig.panel("6a").is_some());
+        assert!(fig.panel("6b").is_some());
+        assert!(fig.panel("6e").is_some());
+        assert!(fig.panel("6f").is_some());
+        assert!(fig.panel("6g").is_some());
+        let p6a = fig.panel("6a").unwrap();
+        assert_eq!(p6a.x, vec![6, 10]);
+        assert_eq!(p6a.series.len(), 3);
+    }
+
+    #[test]
+    fn feasible_points_have_values() {
+        let fig = generate_with_suite(&mini_suite(), &[8]);
+        for s in &fig.panel("6a").unwrap().series {
+            assert!(s.y[0].is_some(), "{} missing", s.label);
+            assert!(s.y[0].unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn error_breakdown_panel_has_both_contributions() {
+        // Motional dominance over background is a paper-scale effect
+        // (hot 60-80 qubit runs; asserted in the integration tests); at
+        // mini scale both contributions must simply be present and
+        // positive.
+        let fig = generate_with_suite(&mini_suite(), &[8]);
+        let p = fig.panel("6g").unwrap();
+        let motional = p.series[0].y[0].unwrap();
+        let background = p.series[1].y[0].unwrap();
+        assert!(motional > 0.0);
+        assert!(background > 0.0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Figure 7 — communication topology choices (§IX-B).
+//!
+//! "Figure compares two topologies: L6 and G2x3. Experiments used FM
+//! two-qubit gates with GS reordering." Per application the paper plots
+//! runtime and fidelity for both topologies (7a–7f) and, for SquareRoot,
+//! the motional-heating comparison (7g).
+
+use super::{series_of, Figure, Panel};
+use crate::sweep::parallel_map;
+use crate::toolflow::Toolflow;
+use qccd_circuit::{generators, Circuit};
+use qccd_compiler::CompilerConfig;
+use qccd_device::presets;
+use qccd_physics::{GateImpl, PhysicalModel};
+use qccd_sim::SimReport;
+
+/// Runs the Fig. 7 study on the full Table II suite.
+pub fn generate(capacities: &[u32]) -> Figure {
+    generate_with_suite(&generators::paper_suite(), capacities)
+}
+
+/// Runs the Fig. 7 study on a custom suite.
+pub fn generate_with_suite(suite: &[Circuit], capacities: &[u32]) -> Figure {
+    let model = PhysicalModel::with_gate(GateImpl::Fm);
+    let config = CompilerConfig::default();
+
+    // (app, capacity, topology): topology 0 = linear, 1 = grid.
+    let cells: Vec<(usize, u32, u8)> = suite
+        .iter()
+        .enumerate()
+        .flat_map(|(a, _)| {
+            capacities
+                .iter()
+                .flat_map(move |&c| [(a, c, 0u8), (a, c, 1u8)])
+        })
+        .collect();
+    let outcomes = parallel_map(&cells, |&(a, cap, topo)| {
+        let device = if topo == 0 {
+            presets::l6(cap)
+        } else {
+            presets::g2x3(cap)
+        };
+        Toolflow::with_config(device, model, config)
+            .run(&suite[a])
+            .ok()
+    });
+
+    let row = |a: usize, topo: u8| -> Vec<Option<SimReport>> {
+        cells
+            .iter()
+            .zip(outcomes.iter())
+            .filter(|((ai, _, t), _)| *ai == a && *t == topo)
+            .map(|(_, o)| o.clone())
+            .collect()
+    };
+
+    let x: Vec<u32> = capacities.to_vec();
+    let panel_ids = ["7a", "7b", "7c", "7d", "7e", "7f"];
+    let mut panels = Vec::new();
+    for (a, circuit) in suite.iter().enumerate() {
+        let linear = row(a, 0);
+        let grid = row(a, 1);
+        let id = panel_ids.get(a).copied().unwrap_or("7x");
+        panels.push(Panel {
+            id: id.into(),
+            title: circuit.name().into(),
+            y_label: "time (s) / fidelity".into(),
+            x: x.clone(),
+            series: vec![
+                series_of("time-linear", &linear, |r: &SimReport| r.total_time_s()),
+                series_of("time-grid", &grid, |r: &SimReport| r.total_time_s()),
+                series_of("fidelity-linear", &linear, |r: &SimReport| r.fidelity()),
+                series_of("fidelity-grid", &grid, |r: &SimReport| r.fidelity()),
+            ],
+        });
+    }
+
+    if let Some(sq) = suite
+        .iter()
+        .position(|c| c.name().starts_with("squareroot"))
+    {
+        panels.push(Panel {
+            id: "7g".into(),
+            title: "SquareRoot: motional heating".into(),
+            y_label: "motional heating (quanta)".into(),
+            x: x.clone(),
+            series: vec![
+                series_of("linear", &row(sq, 0), |r: &SimReport| {
+                    r.peak_motional_energy
+                }),
+                series_of("grid", &row(sq, 1), |r: &SimReport| r.peak_motional_energy),
+            ],
+        });
+    }
+
+    Figure {
+        id: "7".into(),
+        caption: "Communication topology choices (L6 vs G2x3, FM gates, GS reordering)".into(),
+        panels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qccd_circuit::generators;
+
+    fn mini_suite() -> Vec<Circuit> {
+        vec![
+            generators::square_root(8, 1, 2),
+            generators::qaoa(14, 1, 2),
+        ]
+    }
+
+    #[test]
+    fn per_app_panels_have_four_series() {
+        let fig = generate_with_suite(&mini_suite(), &[8]);
+        let p = fig.panel("7a").unwrap();
+        assert_eq!(p.series.len(), 4);
+        assert!(p.series.iter().all(|s| s.y[0].is_some()));
+    }
+
+    #[test]
+    fn heating_panel_compares_topologies() {
+        let fig = generate_with_suite(&mini_suite(), &[8]);
+        let p = fig.panel("7g").unwrap();
+        assert_eq!(p.series.len(), 2);
+        assert_eq!(p.series[0].label, "linear");
+    }
+
+    #[test]
+    fn irregular_app_heats_less_on_grid() {
+        // The headline §IX-B effect, at mini scale: SquareRoot-like
+        // irregular communication accrues less motional energy on the
+        // grid (no intermediate-trap merges).
+        let fig = generate_with_suite(&mini_suite(), &[6]);
+        let p = fig.panel("7g").unwrap();
+        let linear = p.series[0].y[0].unwrap();
+        let grid = p.series[1].y[0].unwrap();
+        assert!(
+            grid <= linear,
+            "grid heating {grid} should not exceed linear {linear}"
+        );
+    }
+}

@@ -1,0 +1,158 @@
+//! Figure 8 — microarchitecture choices (§X).
+//!
+//! "Comparison of 8 combinations with 4 gate choices: AM1, AM2, PM, and
+//! FM, and two chain reordering methods: GS and IS", on the L6 topology.
+//! Panels 8a–8f plot fidelity per application, 8g–8l runtime.
+//!
+//! The compiler's output depends on the reorder method but not on the
+//! gate implementation, so each (app, capacity, reorder) cell is compiled
+//! once and simulated under all four gate-time models.
+
+use super::{Figure, Panel, Series};
+use crate::sweep::parallel_map;
+use crate::toolflow::Toolflow;
+use qccd_circuit::{generators, Circuit};
+use qccd_compiler::{CompilerConfig, ReorderMethod};
+use qccd_device::presets;
+use qccd_physics::{GateImpl, PhysicalModel};
+use qccd_sim::SimReport;
+
+/// Runs the Fig. 8 study on the full Table II suite.
+pub fn generate(capacities: &[u32]) -> Figure {
+    generate_with_suite(&generators::paper_suite(), capacities)
+}
+
+/// Runs the Fig. 8 study on a custom suite.
+pub fn generate_with_suite(suite: &[Circuit], capacities: &[u32]) -> Figure {
+    // (app, capacity, reorder) cells; each yields 4 gate-impl outcomes.
+    let cells: Vec<(usize, u32, ReorderMethod)> = suite
+        .iter()
+        .enumerate()
+        .flat_map(|(a, _)| {
+            capacities.iter().flat_map(move |&c| {
+                ReorderMethod::ALL.into_iter().map(move |r| (a, c, r))
+            })
+        })
+        .collect();
+
+    let outcomes: Vec<Vec<Option<SimReport>>> = parallel_map(&cells, |&(a, cap, reorder)| {
+        let device = presets::l6(cap);
+        let config = CompilerConfig::with_reorder(reorder);
+        let tf = Toolflow::with_config(device, PhysicalModel::default(), config);
+        match tf.compile(&suite[a]) {
+            Err(_) => vec![None; GateImpl::ALL.len()],
+            Ok(exe) => GateImpl::ALL
+                .iter()
+                .map(|&g| {
+                    let tf =
+                        Toolflow::with_config(presets::l6(cap), PhysicalModel::with_gate(g), config);
+                    tf.simulate(&exe).ok()
+                })
+                .collect(),
+        }
+    });
+
+    // series[(gate, reorder)] per app for fidelity and time.
+    let x: Vec<u32> = capacities.to_vec();
+    let combo_series = |a: usize, get: &dyn Fn(&SimReport) -> f64| -> Vec<Series> {
+        let mut out = Vec::new();
+        for (gi, g) in GateImpl::ALL.iter().enumerate() {
+            for r in ReorderMethod::ALL {
+                let y: Vec<Option<f64>> = capacities
+                    .iter()
+                    .map(|&c| {
+                        let idx = cells
+                            .iter()
+                            .position(|&(ai, ci, ri)| ai == a && ci == c && ri == r)
+                            .expect("cell exists");
+                        outcomes[idx][gi].as_ref().map(get)
+                    })
+                    .collect();
+                out.push(Series {
+                    label: format!("{}-{}", g.name(), r.name()),
+                    y,
+                });
+            }
+        }
+        out
+    };
+
+    let fid_ids = ["8a", "8b", "8c", "8d", "8e", "8f"];
+    let time_ids = ["8g", "8h", "8i", "8j", "8k", "8l"];
+    let mut panels = Vec::new();
+    for (a, circuit) in suite.iter().enumerate() {
+        panels.push(Panel {
+            id: fid_ids.get(a).copied().unwrap_or("8x").into(),
+            title: format!("{} fidelity", circuit.name()),
+            y_label: "fidelity".into(),
+            x: x.clone(),
+            series: combo_series(a, &|r| r.fidelity()),
+        });
+    }
+    for (a, circuit) in suite.iter().enumerate() {
+        panels.push(Panel {
+            id: time_ids.get(a).copied().unwrap_or("8y").into(),
+            title: format!("{} time", circuit.name()),
+            y_label: "time (s)".into(),
+            x: x.clone(),
+            series: combo_series(a, &|r| r.total_time_s()),
+        });
+    }
+
+    Figure {
+        id: "8".into(),
+        caption:
+            "Microarchitecture choices: 4 two-qubit gate implementations × 2 chain reordering \
+             methods (L6 topology)"
+                .into(),
+        panels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qccd_circuit::generators;
+
+    fn mini_suite() -> Vec<Circuit> {
+        vec![generators::qaoa(14, 1, 2), generators::bv(&[true; 13])]
+    }
+
+    #[test]
+    fn eight_series_per_panel() {
+        let fig = generate_with_suite(&mini_suite(), &[8]);
+        let p = fig.panel("8a").unwrap();
+        assert_eq!(p.series.len(), 8);
+        let labels: Vec<&str> = p.series.iter().map(|s| s.label.as_str()).collect();
+        assert!(labels.contains(&"AM1-GS"));
+        assert!(labels.contains(&"FM-IS"));
+    }
+
+    #[test]
+    fn qaoa_gs_equals_is() {
+        // Fig. 8's QAOA curves coincide: no reordering is ever needed.
+        let fig = generate_with_suite(&mini_suite(), &[8]);
+        let p = fig.panel("8a").unwrap();
+        for g in ["AM1", "AM2", "PM", "FM"] {
+            let gs = p
+                .series
+                .iter()
+                .find(|s| s.label == format!("{g}-GS"))
+                .unwrap();
+            let is = p
+                .series
+                .iter()
+                .find(|s| s.label == format!("{g}-IS"))
+                .unwrap();
+            assert_eq!(gs.y, is.y, "{g} GS and IS differ for QAOA");
+        }
+    }
+
+    #[test]
+    fn time_panels_exist_per_app() {
+        let fig = generate_with_suite(&mini_suite(), &[8]);
+        assert!(fig.panel("8g").is_some());
+        assert!(fig.panel("8h").is_some());
+        assert_eq!(fig.panels.len(), 4);
+    }
+}

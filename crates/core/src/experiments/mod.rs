@@ -1,0 +1,206 @@
+//! Drivers that regenerate every table and figure of the paper's
+//! evaluation (§VIII–§X).
+//!
+//! Each driver returns a serializable [`Figure`] (panels of labelled
+//! series over trap capacity) or [`Table`]; their `Display`
+//! implementations print the same rows/series the paper reports, and the
+//! `qccd-bench` binaries dump them as text and JSON.
+//!
+//! | Driver | Paper artifact |
+//! |--------|----------------|
+//! | [`table1::generate`] | Table I — shuttling operation times |
+//! | [`table2::generate`] | Table II — benchmark suite characteristics |
+//! | [`fig6::generate`]   | Fig. 6 — trap-sizing study (L6, FM, GS) |
+//! | [`fig7::generate`]   | Fig. 7 — topology study (L6 vs G2x3) |
+//! | [`fig8::generate`]   | Fig. 8 — microarchitecture study (4 gates × 2 reorders) |
+//! | [`ablations`]        | beyond-the-paper sensitivity studies (buffer, heating model, junction cost, device size) |
+
+pub mod ablations;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod table1;
+pub mod table2;
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The trap capacities swept in Figs. 6–8 (x-axis ticks 14–34).
+pub const PAPER_CAPACITIES: [u32; 11] = [14, 16, 18, 20, 22, 24, 26, 28, 30, 32, 34];
+
+/// A reduced capacity set for quick runs and CI.
+pub const QUICK_CAPACITIES: [u32; 3] = [14, 22, 30];
+
+/// One labelled data series over trap capacity.
+///
+/// `None` marks infeasible design points (e.g. a 78-qubit program on a
+/// device that cannot hold it).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Series {
+    /// Legend label (application or configuration name).
+    pub label: String,
+    /// Y values, aligned with the panel's capacity axis.
+    pub y: Vec<Option<f64>>,
+}
+
+/// One panel (sub-figure) of a figure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Panel {
+    /// Panel id, e.g. `"6a"`.
+    pub id: String,
+    /// Panel title as in the paper's caption.
+    pub title: String,
+    /// Y-axis label (with unit).
+    pub y_label: String,
+    /// X-axis values (trap capacities).
+    pub x: Vec<u32>,
+    /// The series plotted in this panel.
+    pub series: Vec<Series>,
+}
+
+impl fmt::Display for Panel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "# Fig {} — {} [{}]", self.id, self.title, self.y_label)?;
+        write!(f, "capacity")?;
+        for s in &self.series {
+            write!(f, ",{}", s.label)?;
+        }
+        writeln!(f)?;
+        for (i, x) in self.x.iter().enumerate() {
+            write!(f, "{x}")?;
+            for s in &self.series {
+                match s.y.get(i).copied().flatten() {
+                    Some(v) => write!(f, ",{v:.6e}")?,
+                    None => write!(f, ",")?,
+                }
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// A full figure: several panels sharing a study configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Figure {
+    /// Figure id, e.g. `"6"`.
+    pub id: String,
+    /// What the figure shows, echoing the paper's caption.
+    pub caption: String,
+    /// The panels.
+    pub panels: Vec<Panel>,
+}
+
+impl Figure {
+    /// Finds a panel by id (e.g. `"6f"`).
+    pub fn panel(&self, id: &str) -> Option<&Panel> {
+        self.panels.iter().find(|p| p.id == id)
+    }
+}
+
+impl fmt::Display for Figure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== Figure {}: {} ==", self.id, self.caption)?;
+        for p in &self.panels {
+            writeln!(f)?;
+            p.fmt(f)?;
+        }
+        Ok(())
+    }
+}
+
+/// A simple textual table (Tables I and II).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table {
+    /// Table id, e.g. `"I"`.
+    pub id: String,
+    /// Caption.
+    pub caption: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Rows of cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== Table {}: {} ==", self.id, self.caption)?;
+        writeln!(f, "{}", self.headers.join(" | "))?;
+        writeln!(f, "{}", vec!["---"; self.headers.len()].join(" | "))?;
+        for row in &self.rows {
+            writeln!(f, "{}", row.join(" | "))?;
+        }
+        Ok(())
+    }
+}
+
+/// Extracts a y-series from per-capacity outcomes with an accessor.
+pub(crate) fn series_of<T, F>(label: &str, outcomes: &[Option<T>], get: F) -> Series
+where
+    F: Fn(&T) -> f64,
+{
+    Series {
+        label: label.to_owned(),
+        y: outcomes.iter().map(|o| o.as_ref().map(&get)).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn panel_display_is_csv_like() {
+        let p = Panel {
+            id: "6a".into(),
+            title: "Performance".into(),
+            y_label: "time (s)".into(),
+            x: vec![14, 16],
+            series: vec![Series {
+                label: "adder".into(),
+                y: vec![Some(0.5), None],
+            }],
+        };
+        let text = p.to_string();
+        assert!(text.contains("capacity,adder"));
+        assert!(text.contains("14,5.000000e-1"));
+        assert!(text.contains("16,\n"));
+    }
+
+    #[test]
+    fn figure_panel_lookup() {
+        let fig = Figure {
+            id: "6".into(),
+            caption: "test".into(),
+            panels: vec![Panel {
+                id: "6f".into(),
+                title: "t".into(),
+                y_label: "y".into(),
+                x: vec![],
+                series: vec![],
+            }],
+        };
+        assert!(fig.panel("6f").is_some());
+        assert!(fig.panel("6z").is_none());
+    }
+
+    #[test]
+    fn table_display_has_headers_and_rows() {
+        let t = Table {
+            id: "I".into(),
+            caption: "ops".into(),
+            headers: vec!["Operation".into(), "Time".into()],
+            rows: vec![vec!["split".into(), "80 µs".into()]],
+        };
+        let text = t.to_string();
+        assert!(text.contains("Operation | Time"));
+        assert!(text.contains("split | 80 µs"));
+    }
+
+    #[test]
+    fn series_of_maps_missing_points() {
+        let outcomes = vec![Some(2.0f64), None, Some(4.0)];
+        let s = series_of("x", &outcomes, |v| v * 10.0);
+        assert_eq!(s.y, vec![Some(20.0), None, Some(40.0)]);
+    }
+}

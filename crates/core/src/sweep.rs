@@ -1,0 +1,159 @@
+//! Parallel design-space exploration helpers.
+//!
+//! The paper's studies sweep trap capacity (Fig. 6), topology (Fig. 7) and
+//! microarchitecture (Fig. 8). Sweep points are independent, so they run
+//! on all available cores via scoped threads with a work-stealing index —
+//! no external dependency needed.
+
+use crate::toolflow::{Toolflow, ToolflowError};
+use qccd_circuit::Circuit;
+use qccd_compiler::CompilerConfig;
+use qccd_device::Device;
+use qccd_physics::PhysicalModel;
+use qccd_sim::SimReport;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Applies `f` to every item, in parallel, preserving input order.
+///
+/// The closure may fail; errors are returned per item.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+    let next = AtomicUsize::new(0);
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(n.max(1));
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(&items[i]);
+                results
+                    .lock()
+                    .expect("no worker panics while holding the results lock")[i] = Some(r);
+            });
+        }
+    });
+
+    results
+        .into_inner()
+        .expect("all workers joined")
+        .into_iter()
+        .map(|r| r.expect("every index visited"))
+        .collect()
+}
+
+/// One evaluated design point of a capacity sweep.
+#[derive(Debug, Clone)]
+pub struct CapacityPoint {
+    /// Trap capacity of the candidate device.
+    pub capacity: u32,
+    /// Simulation outcome (an error for infeasible points, e.g. programs
+    /// that do not fit).
+    pub outcome: Result<SimReport, ToolflowError>,
+}
+
+/// Sweeps trap capacity for one circuit: for each capacity, builds a
+/// device with `device_at`, then compiles and simulates.
+pub fn capacity_sweep<F>(
+    circuit: &Circuit,
+    capacities: &[u32],
+    model: &PhysicalModel,
+    config: &CompilerConfig,
+    device_at: F,
+) -> Vec<CapacityPoint>
+where
+    F: Fn(u32) -> Device + Sync,
+{
+    parallel_map(capacities, |&capacity| {
+        let tf = Toolflow::with_config(device_at(capacity), *model, *config);
+        CapacityPoint {
+            capacity,
+            outcome: tf.run(circuit),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qccd_circuit::generators;
+    use qccd_device::presets;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let items: Vec<u64> = (0..64).collect();
+        let out = parallel_map(&items, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_on_empty_input() {
+        let items: Vec<u32> = vec![];
+        assert!(parallel_map(&items, |&x| x).is_empty());
+    }
+
+    #[test]
+    fn capacity_sweep_reports_per_point() {
+        let c = generators::bv(&[true; 20]);
+        let points = capacity_sweep(
+            &c,
+            &[6, 10, 14],
+            &PhysicalModel::default(),
+            &CompilerConfig::default(),
+            presets::l6,
+        );
+        assert_eq!(points.len(), 3);
+        // 21 qubits on L6(6)=36 slots fits; all should succeed.
+        for p in &points {
+            assert!(p.outcome.is_ok(), "capacity {} failed", p.capacity);
+        }
+    }
+
+    #[test]
+    fn capacity_sweep_flags_infeasible_points() {
+        let c = generators::bv(&[true; 40]); // 41 qubits
+        let points = capacity_sweep(
+            &c,
+            &[4, 8],
+            &PhysicalModel::default(),
+            &CompilerConfig::default(),
+            presets::l6,
+        );
+        assert!(points[0].outcome.is_err()); // 24 slots < 41
+        assert!(points[1].outcome.is_ok()); // 48 slots
+    }
+
+    #[test]
+    fn sweep_is_deterministic_despite_parallelism() {
+        let c = generators::qaoa(20, 1, 5);
+        let run = || {
+            capacity_sweep(
+                &c,
+                &[8, 10, 12],
+                &PhysicalModel::default(),
+                &CompilerConfig::default(),
+                presets::l6,
+            )
+            .into_iter()
+            .map(|p| p.outcome.map(|r| (r.total_time_us, r.log_fidelity)))
+            .collect::<Vec<_>>()
+        };
+        let a = run();
+        let b = run();
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.as_ref().ok(), y.as_ref().ok());
+        }
+    }
+}

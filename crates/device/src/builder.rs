@@ -1,0 +1,337 @@
+//! Programmatic device construction with validation.
+
+use crate::ids::{JunctionId, SegmentId, Side, TrapId};
+use crate::topology::{Device, Junction, NodeRef, Segment, Trap};
+use std::fmt;
+
+/// A connectable endpoint: a specific end of a trap, or a junction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Endpoint {
+    /// A trap end. Each side can carry at most one segment.
+    Trap(TrapId, Side),
+    /// A junction. Junctions carry at most four segments.
+    Junction(JunctionId),
+}
+
+impl From<(TrapId, Side)> for Endpoint {
+    fn from((t, s): (TrapId, Side)) -> Self {
+        Endpoint::Trap(t, s)
+    }
+}
+
+impl From<JunctionId> for Endpoint {
+    fn from(j: JunctionId) -> Self {
+        Endpoint::Junction(j)
+    }
+}
+
+/// Errors from [`DeviceBuilder`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// Referenced trap id was never added.
+    UnknownTrap(TrapId),
+    /// Referenced junction id was never added.
+    UnknownJunction(JunctionId),
+    /// The trap end already carries a segment.
+    PortInUse(TrapId, Side),
+    /// The junction already carries four segments.
+    JunctionFull(JunctionId),
+    /// Segment length must be at least one unit.
+    ZeroLengthSegment,
+    /// Both endpoints are the same node.
+    SelfLoop,
+    /// A device must contain at least one trap.
+    NoTraps,
+    /// A trap capacity of zero cannot hold ions.
+    ZeroCapacity(TrapId),
+    /// Some trap cannot reach some other trap.
+    Disconnected(TrapId, TrapId),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnknownTrap(t) => write!(f, "unknown trap {t}"),
+            BuildError::UnknownJunction(j) => write!(f, "unknown junction {j}"),
+            BuildError::PortInUse(t, s) => write!(f, "{s} port of {t} already carries a segment"),
+            BuildError::JunctionFull(j) => write!(f, "junction {j} already carries four segments"),
+            BuildError::ZeroLengthSegment => f.write_str("segment length must be at least one unit"),
+            BuildError::SelfLoop => f.write_str("segment endpoints must be distinct nodes"),
+            BuildError::NoTraps => f.write_str("device must contain at least one trap"),
+            BuildError::ZeroCapacity(t) => write!(f, "trap {t} has zero capacity"),
+            BuildError::Disconnected(a, b) => {
+                write!(f, "device is disconnected: no path between {a} and {b}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Incremental builder for [`Device`].
+///
+/// # Example
+///
+/// ```
+/// use qccd_device::{DeviceBuilder, Side};
+///
+/// # fn main() -> Result<(), qccd_device::BuildError> {
+/// // Two traps joined through a junction (a tiny "T" device).
+/// let mut b = DeviceBuilder::new("tiny");
+/// let t0 = b.add_trap(10);
+/// let t1 = b.add_trap(10);
+/// let j = b.add_junction();
+/// b.connect((t0, Side::Right), j, 2)?;
+/// b.connect((t1, Side::Left), j, 2)?;
+/// let device = b.build()?;
+/// assert_eq!(device.trap_count(), 2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DeviceBuilder {
+    name: String,
+    traps: Vec<Trap>,
+    junctions: Vec<Junction>,
+    segments: Vec<Segment>,
+}
+
+impl DeviceBuilder {
+    /// Starts an empty device with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        DeviceBuilder {
+            name: name.into(),
+            traps: Vec::new(),
+            junctions: Vec::new(),
+            segments: Vec::new(),
+        }
+    }
+
+    /// Adds a trap with the given ion capacity, returning its id.
+    pub fn add_trap(&mut self, capacity: u32) -> TrapId {
+        let id = TrapId(self.traps.len() as u32);
+        self.traps.push(Trap::new(capacity));
+        id
+    }
+
+    /// Adds a junction, returning its id.
+    pub fn add_junction(&mut self) -> JunctionId {
+        let id = JunctionId(self.junctions.len() as u32);
+        self.junctions.push(Junction::new());
+        id
+    }
+
+    /// Connects two endpoints with a segment of `length` units.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] if an endpoint is unknown or already fully
+    /// occupied, if `length` is zero, or if both endpoints name the same
+    /// node.
+    pub fn connect(
+        &mut self,
+        a: impl Into<Endpoint>,
+        b: impl Into<Endpoint>,
+        length: u32,
+    ) -> Result<SegmentId, BuildError> {
+        let (a, b) = (a.into(), b.into());
+        if length == 0 {
+            return Err(BuildError::ZeroLengthSegment);
+        }
+        let node_of = |e: Endpoint| match e {
+            Endpoint::Trap(t, _) => NodeRef::Trap(t),
+            Endpoint::Junction(j) => NodeRef::Junction(j),
+        };
+        if node_of(a) == node_of(b) {
+            return Err(BuildError::SelfLoop);
+        }
+        // Validate both endpoints before mutating either.
+        for e in [a, b] {
+            match e {
+                Endpoint::Trap(t, side) => {
+                    let trap = self
+                        .traps
+                        .get(t.index())
+                        .ok_or(BuildError::UnknownTrap(t))?;
+                    if trap.port(side).is_some() {
+                        return Err(BuildError::PortInUse(t, side));
+                    }
+                }
+                Endpoint::Junction(j) => {
+                    let junction = self
+                        .junctions
+                        .get(j.index())
+                        .ok_or(BuildError::UnknownJunction(j))?;
+                    if junction.degree() >= 4 {
+                        return Err(BuildError::JunctionFull(j));
+                    }
+                }
+            }
+        }
+        let id = SegmentId(self.segments.len() as u32);
+        self.segments.push(Segment::new(node_of(a), node_of(b), length));
+        for e in [a, b] {
+            match e {
+                Endpoint::Trap(t, side) => self.traps[t.index()].set_port(side, id),
+                Endpoint::Junction(j) => self.junctions[j.index()].attach(id),
+            }
+        }
+        Ok(id)
+    }
+
+    /// Finalizes the device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::NoTraps`], [`BuildError::ZeroCapacity`], or
+    /// [`BuildError::Disconnected`] if any trap cannot reach trap 0 (a
+    /// single isolated trap is allowed).
+    pub fn build(self) -> Result<Device, BuildError> {
+        if self.traps.is_empty() {
+            return Err(BuildError::NoTraps);
+        }
+        for (i, t) in self.traps.iter().enumerate() {
+            if t.capacity() == 0 {
+                return Err(BuildError::ZeroCapacity(TrapId(i as u32)));
+            }
+        }
+        let device = Device::from_parts(self.name, self.traps, self.segments, self.junctions);
+        // Connectivity check over the node graph (BFS from trap 0).
+        if device.trap_count() > 1 {
+            let n_traps = device.trap_count();
+            let n_nodes = n_traps + device.junction_count();
+            let idx = |n: NodeRef| match n {
+                NodeRef::Trap(t) => t.index(),
+                NodeRef::Junction(j) => n_traps + j.index(),
+            };
+            let mut seen = vec![false; n_nodes];
+            let mut queue = std::collections::VecDeque::new();
+            seen[0] = true;
+            queue.push_back(NodeRef::Trap(TrapId(0)));
+            while let Some(node) = queue.pop_front() {
+                for s in device.segments_at(node) {
+                    if let Some(next) = device.segment(s).other_end(node) {
+                        if !seen[idx(next)] {
+                            seen[idx(next)] = true;
+                            queue.push_back(next);
+                        }
+                    }
+                }
+            }
+            for t in device.trap_ids() {
+                if !seen[t.index()] {
+                    return Err(BuildError::Disconnected(TrapId(0), t));
+                }
+            }
+        }
+        Ok(device)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_a_two_trap_line() {
+        let mut b = DeviceBuilder::new("pair");
+        let t0 = b.add_trap(5);
+        let t1 = b.add_trap(5);
+        b.connect((t0, Side::Right), (t1, Side::Left), 3).unwrap();
+        let d = b.build().unwrap();
+        assert_eq!(d.trap_count(), 2);
+        assert_eq!(d.segment(SegmentId(0)).length(), 3);
+    }
+
+    #[test]
+    fn rejects_port_reuse() {
+        let mut b = DeviceBuilder::new("bad");
+        let t0 = b.add_trap(5);
+        let t1 = b.add_trap(5);
+        let t2 = b.add_trap(5);
+        b.connect((t0, Side::Right), (t1, Side::Left), 1).unwrap();
+        let err = b.connect((t0, Side::Right), (t2, Side::Left), 1).unwrap_err();
+        assert_eq!(err, BuildError::PortInUse(t0, Side::Right));
+    }
+
+    #[test]
+    fn rejects_overfull_junction() {
+        let mut b = DeviceBuilder::new("bad");
+        let j = b.add_junction();
+        let traps: Vec<_> = (0..5).map(|_| b.add_trap(4)).collect();
+        for &t in &traps[..4] {
+            b.connect((t, Side::Right), j, 1).unwrap();
+        }
+        let err = b.connect((traps[4], Side::Right), j, 1).unwrap_err();
+        assert_eq!(err, BuildError::JunctionFull(j));
+    }
+
+    #[test]
+    fn rejects_zero_length_and_self_loop() {
+        let mut b = DeviceBuilder::new("bad");
+        let t0 = b.add_trap(5);
+        let t1 = b.add_trap(5);
+        assert_eq!(
+            b.connect((t0, Side::Right), (t1, Side::Left), 0),
+            Err(BuildError::ZeroLengthSegment)
+        );
+        assert_eq!(
+            b.connect((t0, Side::Left), (t0, Side::Right), 1),
+            Err(BuildError::SelfLoop)
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_ids() {
+        let mut b = DeviceBuilder::new("bad");
+        let t0 = b.add_trap(5);
+        assert_eq!(
+            b.connect((t0, Side::Right), JunctionId(9), 1),
+            Err(BuildError::UnknownJunction(JunctionId(9)))
+        );
+        assert_eq!(
+            b.connect((TrapId(7), Side::Right), (t0, Side::Left), 1),
+            Err(BuildError::UnknownTrap(TrapId(7)))
+        );
+    }
+
+    #[test]
+    fn rejects_disconnected_device() {
+        let mut b = DeviceBuilder::new("bad");
+        b.add_trap(5);
+        b.add_trap(5);
+        assert!(matches!(b.build(), Err(BuildError::Disconnected(..))));
+    }
+
+    #[test]
+    fn rejects_empty_and_zero_capacity() {
+        assert_eq!(DeviceBuilder::new("e").build().unwrap_err(), BuildError::NoTraps);
+        let mut b = DeviceBuilder::new("z");
+        b.add_trap(0);
+        assert!(matches!(b.build(), Err(BuildError::ZeroCapacity(_))));
+    }
+
+    #[test]
+    fn single_isolated_trap_is_fine() {
+        let mut b = DeviceBuilder::new("solo");
+        b.add_trap(11);
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn failed_connect_leaves_builder_unchanged() {
+        let mut b = DeviceBuilder::new("atomic");
+        let t0 = b.add_trap(5);
+        let t1 = b.add_trap(5);
+        // First operand valid, second invalid: nothing must be mutated.
+        let _ = b.connect((t0, Side::Right), (TrapId(9), Side::Left), 1);
+        b.connect((t0, Side::Right), (t1, Side::Left), 1).unwrap();
+        assert!(b.build().is_ok());
+    }
+
+    #[test]
+    fn error_messages_are_descriptive() {
+        let e = BuildError::PortInUse(TrapId(2), Side::Left);
+        assert_eq!(e.to_string(), "left port of T2 already carries a segment");
+    }
+}

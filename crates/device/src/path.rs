@@ -1,0 +1,358 @@
+//! Shuttling-route computation.
+//!
+//! The compiler moves an ion from one trap to another along the *shortest
+//! shuttling path* (paper §VI). A route is found with Dijkstra over the
+//! topology graph, with weights chosen to reflect the paper's cost
+//! hierarchy: segment units are cheap, junction crossings cost more, and
+//! passing through an intermediate trap is expensive because it forces a
+//! merge, a chain reorder and a second split (Fig. 4).
+//!
+//! The resulting node path is cut into [`Leg`]s at trap boundaries: each
+//! leg is one split→move→merge flight between traps, crossing only
+//! junctions.
+
+use crate::ids::{JunctionId, SegmentId, Side, TrapId};
+use crate::topology::{Device, NodeRef};
+use serde::{Deserialize, Serialize};
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// Relative Dijkstra weight of crossing one junction (vs one segment unit).
+const JUNCTION_WEIGHT: u64 = 12;
+/// Relative Dijkstra weight of passing through an intermediate trap.
+const TRAP_WEIGHT: u64 = 120;
+
+/// One split→move→merge flight between two traps, crossing only junctions.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Leg {
+    /// Source trap.
+    pub from: TrapId,
+    /// End of the source chain the ion departs from.
+    pub exit_side: Side,
+    /// Destination trap.
+    pub to: TrapId,
+    /// End of the destination chain the ion arrives at.
+    pub entry_side: Side,
+    /// Segments traversed, in order.
+    pub segments: Vec<SegmentId>,
+    /// Junctions crossed, in order.
+    pub junctions: Vec<JunctionId>,
+    /// Total length in unit segments.
+    pub length_units: u32,
+}
+
+/// A complete route between two traps: one or more [`Leg`]s.
+///
+/// Multi-leg routes only occur on topologies where some trap pairs have no
+/// junction-only path (e.g. linear devices); the traps between legs are the
+/// "intermediate traps" of Fig. 4.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Route {
+    from: TrapId,
+    to: TrapId,
+    legs: Vec<Leg>,
+}
+
+impl Route {
+    /// Source trap.
+    pub fn from(&self) -> TrapId {
+        self.from
+    }
+
+    /// Destination trap.
+    pub fn to(&self) -> TrapId {
+        self.to
+    }
+
+    /// The legs, in travel order.
+    pub fn legs(&self) -> &[Leg] {
+        &self.legs
+    }
+
+    /// Traps the ion must merge into and split from along the way
+    /// (destinations of all but the last leg).
+    pub fn intermediate_traps(&self) -> Vec<TrapId> {
+        self.legs[..self.legs.len() - 1]
+            .iter()
+            .map(|l| l.to)
+            .collect()
+    }
+
+    /// Total segment units over all legs.
+    pub fn total_length_units(&self) -> u32 {
+        self.legs.iter().map(|l| l.length_units).sum()
+    }
+
+    /// Total junctions crossed over all legs.
+    pub fn junction_count(&self) -> usize {
+        self.legs.iter().map(|l| l.junctions.len()).sum()
+    }
+}
+
+impl fmt::Display for Route {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.from)?;
+        for leg in &self.legs {
+            write!(f, " -[{}u]-> {}", leg.length_units, leg.to)?;
+        }
+        Ok(())
+    }
+}
+
+/// Errors from route computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RouteError {
+    /// Source and destination are the same trap.
+    SameTrap(TrapId),
+    /// No path exists between the traps.
+    Unreachable(TrapId, TrapId),
+}
+
+impl fmt::Display for RouteError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouteError::SameTrap(t) => write!(f, "route endpoints are both {t}"),
+            RouteError::Unreachable(a, b) => write!(f, "no shuttling path from {a} to {b}"),
+        }
+    }
+}
+
+impl std::error::Error for RouteError {}
+
+impl Device {
+    /// Computes the cheapest shuttling route from `from` to `to`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError::SameTrap`] if `from == to` and
+    /// [`RouteError::Unreachable`] if the traps are not connected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range for this device.
+    pub fn route(&self, from: TrapId, to: TrapId) -> Result<Route, RouteError> {
+        assert!(from.index() < self.trap_count(), "unknown trap {from}");
+        assert!(to.index() < self.trap_count(), "unknown trap {to}");
+        if from == to {
+            return Err(RouteError::SameTrap(from));
+        }
+
+        let n_traps = self.trap_count();
+        let n_nodes = n_traps + self.junction_count();
+        let idx = |n: NodeRef| match n {
+            NodeRef::Trap(t) => t.index(),
+            NodeRef::Junction(j) => n_traps + j.index(),
+        };
+        let node_of = |i: usize| {
+            if i < n_traps {
+                NodeRef::Trap(TrapId(i as u32))
+            } else {
+                NodeRef::Junction(JunctionId((i - n_traps) as u32))
+            }
+        };
+
+        // Cost of *entering* a node: junctions cost a crossing; traps other
+        // than the final destination cost a merge+reorder+split.
+        let entry_cost = |node: NodeRef| -> u64 {
+            match node {
+                NodeRef::Trap(t) if t == to => 0,
+                NodeRef::Trap(_) => TRAP_WEIGHT,
+                NodeRef::Junction(_) => JUNCTION_WEIGHT,
+            }
+        };
+
+        let mut dist = vec![u64::MAX; n_nodes];
+        let mut prev: Vec<Option<(usize, SegmentId)>> = vec![None; n_nodes];
+        let mut heap: BinaryHeap<std::cmp::Reverse<(u64, usize)>> = BinaryHeap::new();
+        let src = idx(NodeRef::Trap(from));
+        dist[src] = 0;
+        heap.push(std::cmp::Reverse((0, src)));
+
+        while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
+            if d > dist[u] {
+                continue;
+            }
+            if u == idx(NodeRef::Trap(to)) {
+                break;
+            }
+            let u_node = node_of(u);
+            for s in self.segments_at(u_node) {
+                let seg = self.segment(s);
+                let Some(v_node) = seg.other_end(u_node) else {
+                    continue;
+                };
+                let v = idx(v_node);
+                let nd = d + u64::from(seg.length()) + entry_cost(v_node);
+                if nd < dist[v] {
+                    dist[v] = nd;
+                    prev[v] = Some((u, s));
+                    heap.push(std::cmp::Reverse((nd, v)));
+                }
+            }
+        }
+
+        let dst = idx(NodeRef::Trap(to));
+        if dist[dst] == u64::MAX {
+            return Err(RouteError::Unreachable(from, to));
+        }
+
+        // Reconstruct the node/segment path.
+        let mut nodes: Vec<NodeRef> = vec![NodeRef::Trap(to)];
+        let mut segs: Vec<SegmentId> = Vec::new();
+        let mut cur = dst;
+        while let Some((p, s)) = prev[cur] {
+            segs.push(s);
+            nodes.push(node_of(p));
+            cur = p;
+        }
+        nodes.reverse();
+        segs.reverse();
+
+        // Cut into legs at trap nodes.
+        let mut legs = Vec::new();
+        let mut leg_start_trap = from;
+        let mut leg_segments: Vec<SegmentId> = Vec::new();
+        let mut leg_junctions: Vec<JunctionId> = Vec::new();
+        for (i, seg_id) in segs.iter().enumerate() {
+            leg_segments.push(*seg_id);
+            match nodes[i + 1] {
+                NodeRef::Junction(j) => leg_junctions.push(j),
+                NodeRef::Trap(t) => {
+                    let first = leg_segments[0];
+                    let last = *leg_segments.last().expect("non-empty leg");
+                    let exit_side = self
+                        .trap(leg_start_trap)
+                        .side_of_port(first)
+                        .expect("leg's first segment attaches to its source trap");
+                    let entry_side = self
+                        .trap(t)
+                        .side_of_port(last)
+                        .expect("leg's last segment attaches to its destination trap");
+                    let length_units = leg_segments
+                        .iter()
+                        .map(|&s| self.segment(s).length())
+                        .sum();
+                    legs.push(Leg {
+                        from: leg_start_trap,
+                        exit_side,
+                        to: t,
+                        entry_side,
+                        segments: std::mem::take(&mut leg_segments),
+                        junctions: std::mem::take(&mut leg_junctions),
+                        length_units,
+                    });
+                    leg_start_trap = t;
+                }
+            }
+        }
+        debug_assert!(leg_segments.is_empty(), "path must end at the target trap");
+        Ok(Route { from, to, legs })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn adjacent_linear_route_is_one_leg() {
+        let d = presets::l6(15);
+        let r = d.route(TrapId(1), TrapId(2)).unwrap();
+        assert_eq!(r.legs().len(), 1);
+        let leg = &r.legs()[0];
+        assert_eq!(leg.exit_side, Side::Right);
+        assert_eq!(leg.entry_side, Side::Left);
+        assert_eq!(leg.length_units, 4);
+        assert!(leg.junctions.is_empty());
+    }
+
+    #[test]
+    fn linear_route_direction_flips_sides() {
+        let d = presets::l6(15);
+        let r = d.route(TrapId(3), TrapId(2)).unwrap();
+        let leg = &r.legs()[0];
+        assert_eq!(leg.exit_side, Side::Left);
+        assert_eq!(leg.entry_side, Side::Right);
+    }
+
+    #[test]
+    fn long_linear_route_passes_every_intermediate_trap() {
+        let d = presets::l6(15);
+        let r = d.route(TrapId(0), TrapId(5)).unwrap();
+        assert_eq!(r.legs().len(), 5);
+        assert_eq!(
+            r.intermediate_traps(),
+            vec![TrapId(1), TrapId(2), TrapId(3), TrapId(4)]
+        );
+        assert_eq!(r.total_length_units(), 20);
+        assert_eq!(r.junction_count(), 0);
+    }
+
+    #[test]
+    fn grid_routes_avoid_intermediate_traps() {
+        let d = presets::g2x3(15);
+        for a in d.trap_ids() {
+            for b in d.trap_ids() {
+                if a == b {
+                    continue;
+                }
+                let r = d.route(a, b).unwrap();
+                assert_eq!(r.legs().len(), 1, "{a}->{b} used intermediate traps");
+                assert!(!r.legs()[0].junctions.is_empty(), "{a}->{b} crossed no junction");
+            }
+        }
+    }
+
+    #[test]
+    fn grid_adjacent_crosses_one_junction_diagonal_more() {
+        let d = presets::g2x3(15);
+        // T0 and T1 share junction J(0,0).
+        let r01 = d.route(TrapId(0), TrapId(1)).unwrap();
+        assert_eq!(r01.junction_count(), 1);
+        // T0 (row 0, col 0) to T5 (row 1, col 2) needs three crossings.
+        let r05 = d.route(TrapId(0), TrapId(5)).unwrap();
+        assert_eq!(r05.junction_count(), 3);
+    }
+
+    #[test]
+    fn same_trap_route_is_an_error() {
+        let d = presets::l6(15);
+        assert_eq!(
+            d.route(TrapId(2), TrapId(2)),
+            Err(RouteError::SameTrap(TrapId(2)))
+        );
+    }
+
+    #[test]
+    fn route_is_symmetric_in_cost() {
+        let d = presets::g2x3(15);
+        let ab = d.route(TrapId(0), TrapId(4)).unwrap();
+        let ba = d.route(TrapId(4), TrapId(0)).unwrap();
+        assert_eq!(ab.total_length_units(), ba.total_length_units());
+        assert_eq!(ab.junction_count(), ba.junction_count());
+    }
+
+    #[test]
+    fn display_shows_hops() {
+        let d = presets::l6(15);
+        let r = d.route(TrapId(0), TrapId(2)).unwrap();
+        assert_eq!(r.to_string(), "T0 -[4u]-> T1 -[4u]-> T2");
+    }
+
+    #[test]
+    fn leg_segments_are_contiguous() {
+        let d = presets::g2x3(15);
+        let r = d.route(TrapId(0), TrapId(5)).unwrap();
+        let leg = &r.legs()[0];
+        // Walk the leg: each consecutive segment pair shares a junction.
+        for w in leg.segments.windows(2) {
+            let s0 = d.segment(w[0]);
+            let s1 = d.segment(w[1]);
+            let shared = [s0.a(), s0.b()]
+                .into_iter()
+                .any(|n| matches!(n, NodeRef::Junction(_)) && (s1.a() == n || s1.b() == n));
+            assert!(shared, "segments {} and {} do not meet at a junction", w[0], w[1]);
+        }
+    }
+}

@@ -1,0 +1,406 @@
+//! The device topology graph.
+
+use crate::ids::{JunctionId, SegmentId, Side, TrapId};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A node of the topology graph: either a trap or a junction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeRef {
+    /// A trapping zone.
+    Trap(TrapId),
+    /// A junction.
+    Junction(JunctionId),
+}
+
+impl fmt::Display for NodeRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeRef::Trap(t) => t.fmt(f),
+            NodeRef::Junction(j) => j.fmt(f),
+        }
+    }
+}
+
+/// A trapping zone holding one linear ion chain.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trap {
+    capacity: u32,
+    ports: [Option<SegmentId>; 2],
+}
+
+impl Trap {
+    pub(crate) fn new(capacity: u32) -> Self {
+        Trap {
+            capacity,
+            ports: [None, None],
+        }
+    }
+
+    pub(crate) fn set_port(&mut self, side: Side, segment: SegmentId) {
+        self.ports[side.index()] = Some(segment);
+    }
+
+    /// Maximum number of ions the trap can hold (paper §IV-A's "trap
+    /// capacity").
+    pub fn capacity(&self) -> u32 {
+        self.capacity
+    }
+
+    /// The segment attached at `side`, if any.
+    pub fn port(&self, side: Side) -> Option<SegmentId> {
+        self.ports[side.index()]
+    }
+
+    /// The side whose port is `segment`, if attached.
+    pub fn side_of_port(&self, segment: SegmentId) -> Option<Side> {
+        Side::BOTH
+            .into_iter()
+            .find(|s| self.ports[s.index()] == Some(segment))
+    }
+
+    /// Number of attached ports (0–2).
+    pub fn port_count(&self) -> usize {
+        self.ports.iter().flatten().count()
+    }
+}
+
+/// Junction geometry, named by its degree as in Table I.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum JunctionKind {
+    /// 3-way junction (crossing time 100 µs in Table I).
+    Y,
+    /// 4-way junction (crossing time 120 µs in Table I).
+    X,
+}
+
+impl fmt::Display for JunctionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            JunctionKind::Y => "Y",
+            JunctionKind::X => "X",
+        })
+    }
+}
+
+/// A junction where up to four shuttling segments meet.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Junction {
+    segments: Vec<SegmentId>,
+}
+
+impl Junction {
+    pub(crate) fn new() -> Self {
+        Junction {
+            segments: Vec::new(),
+        }
+    }
+
+    pub(crate) fn attach(&mut self, segment: SegmentId) {
+        self.segments.push(segment);
+    }
+
+    /// Segments meeting at this junction.
+    pub fn segments(&self) -> &[SegmentId] {
+        &self.segments
+    }
+
+    /// Number of attached segments.
+    pub fn degree(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Geometry class: degree ≤ 3 is a Y junction, 4 an X junction.
+    pub fn kind(&self) -> JunctionKind {
+        if self.degree() >= 4 {
+            JunctionKind::X
+        } else {
+            JunctionKind::Y
+        }
+    }
+}
+
+/// A straight run of electrode segments between two nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Segment {
+    a: NodeRef,
+    b: NodeRef,
+    length: u32,
+}
+
+impl Segment {
+    pub(crate) fn new(a: NodeRef, b: NodeRef, length: u32) -> Self {
+        Segment { a, b, length }
+    }
+
+    /// One endpoint.
+    pub fn a(&self) -> NodeRef {
+        self.a
+    }
+
+    /// The other endpoint.
+    pub fn b(&self) -> NodeRef {
+        self.b
+    }
+
+    /// Length in unit electrode segments (each priced at 5 µs by Table I).
+    pub fn length(&self) -> u32 {
+        self.length
+    }
+
+    /// The endpoint opposite `node`, or `None` if `node` is not an
+    /// endpoint.
+    pub fn other_end(&self, node: NodeRef) -> Option<NodeRef> {
+        if self.a == node {
+            Some(self.b)
+        } else if self.b == node {
+            Some(self.a)
+        } else {
+            None
+        }
+    }
+}
+
+/// A complete QCCD device: the input "candidate architecture" of the
+/// paper's toolflow (Fig. 3).
+///
+/// Construct devices with [`crate::DeviceBuilder`] or the
+/// [`crate::presets`] functions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Device {
+    name: String,
+    traps: Vec<Trap>,
+    segments: Vec<Segment>,
+    junctions: Vec<Junction>,
+}
+
+impl Device {
+    pub(crate) fn from_parts(
+        name: String,
+        traps: Vec<Trap>,
+        segments: Vec<Segment>,
+        junctions: Vec<Junction>,
+    ) -> Self {
+        Device {
+            name,
+            traps,
+            segments,
+            junctions,
+        }
+    }
+
+    /// Device name (used in reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of traps.
+    pub fn trap_count(&self) -> usize {
+        self.traps.len()
+    }
+
+    /// Number of segments.
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+
+    /// Number of junctions.
+    pub fn junction_count(&self) -> usize {
+        self.junctions.len()
+    }
+
+    /// The trap with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn trap(&self, id: TrapId) -> &Trap {
+        &self.traps[id.index()]
+    }
+
+    /// The segment with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn segment(&self, id: SegmentId) -> &Segment {
+        &self.segments[id.index()]
+    }
+
+    /// The junction with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn junction(&self, id: JunctionId) -> &Junction {
+        &self.junctions[id.index()]
+    }
+
+    /// Iterates over trap ids.
+    pub fn trap_ids(&self) -> impl Iterator<Item = TrapId> + '_ {
+        (0..self.traps.len() as u32).map(TrapId)
+    }
+
+    /// Iterates over junction ids.
+    pub fn junction_ids(&self) -> impl Iterator<Item = JunctionId> + '_ {
+        (0..self.junctions.len() as u32).map(JunctionId)
+    }
+
+    /// Iterates over segment ids.
+    pub fn segment_ids(&self) -> impl Iterator<Item = SegmentId> + '_ {
+        (0..self.segments.len() as u32).map(SegmentId)
+    }
+
+    /// Total ion capacity over all traps.
+    pub fn total_capacity(&self) -> u32 {
+        self.traps.iter().map(Trap::capacity).sum()
+    }
+
+    /// Largest single-trap capacity.
+    pub fn max_trap_capacity(&self) -> u32 {
+        self.traps.iter().map(Trap::capacity).max().unwrap_or(0)
+    }
+
+    /// Segments attached to `node`.
+    pub fn segments_at(&self, node: NodeRef) -> Vec<SegmentId> {
+        match node {
+            NodeRef::Trap(t) => Side::BOTH
+                .into_iter()
+                .filter_map(|s| self.trap(t).port(s))
+                .collect(),
+            NodeRef::Junction(j) => self.junction(j).segments().to_vec(),
+        }
+    }
+
+    /// Traps reachable from `t` by a single leg (no intermediate traps).
+    pub fn neighbor_traps(&self, t: TrapId) -> Vec<TrapId> {
+        let mut result = Vec::new();
+        for other in self.trap_ids() {
+            if other == t {
+                continue;
+            }
+            if let Ok(route) = self.route(t, other) {
+                if route.legs().len() == 1 {
+                    result.push(other);
+                }
+            }
+        }
+        result
+    }
+
+    /// Trap-level distance matrix in legs (merge-to-merge hops).
+    ///
+    /// Entry `[a][b]` is the number of legs on the best route, or
+    /// `u32::MAX` if unreachable.
+    pub fn trap_leg_distances(&self) -> Vec<Vec<u32>> {
+        let n = self.trap_count();
+        let mut m = vec![vec![u32::MAX; n]; n];
+        for a in self.trap_ids() {
+            m[a.index()][a.index()] = 0;
+            for b in self.trap_ids() {
+                if a != b {
+                    if let Ok(route) = self.route(a, b) {
+                        m[a.index()][b.index()] = route.legs().len() as u32;
+                    }
+                }
+            }
+        }
+        m
+    }
+}
+
+impl fmt::Display for Device {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} traps, {} segments, {} junctions, capacity {})",
+            self.name,
+            self.trap_count(),
+            self.segment_count(),
+            self.junction_count(),
+            self.total_capacity()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets;
+
+    #[test]
+    fn l6_shape() {
+        let d = presets::l6(17);
+        assert_eq!(d.trap_count(), 6);
+        assert_eq!(d.segment_count(), 5);
+        assert_eq!(d.junction_count(), 0);
+        assert_eq!(d.total_capacity(), 6 * 17);
+        assert_eq!(d.max_trap_capacity(), 17);
+    }
+
+    #[test]
+    fn g2x3_shape() {
+        let d = presets::g2x3(20);
+        assert_eq!(d.trap_count(), 6);
+        // 8 stubs + 2 verticals + 2 horizontal backbone edges.
+        assert_eq!(d.segment_count(), 12);
+        assert_eq!(d.junction_count(), 4);
+        for j in d.junction_ids() {
+            assert_eq!(d.junction(j).kind(), JunctionKind::X);
+        }
+    }
+
+    #[test]
+    fn linear_ports_follow_the_line() {
+        let d = presets::linear(3, 10, 4);
+        // Middle trap has both ports, end traps one each.
+        assert_eq!(d.trap(TrapId(0)).port_count(), 1);
+        assert_eq!(d.trap(TrapId(1)).port_count(), 2);
+        assert_eq!(d.trap(TrapId(2)).port_count(), 1);
+        assert!(d.trap(TrapId(0)).port(Side::Right).is_some());
+        assert!(d.trap(TrapId(0)).port(Side::Left).is_none());
+    }
+
+    #[test]
+    fn segment_other_end() {
+        let d = presets::linear(2, 10, 4);
+        let s = d.segment(SegmentId(0));
+        assert_eq!(
+            s.other_end(NodeRef::Trap(TrapId(0))),
+            Some(NodeRef::Trap(TrapId(1)))
+        );
+        assert_eq!(s.other_end(NodeRef::Trap(TrapId(5))), None);
+    }
+
+    #[test]
+    fn neighbor_traps_linear() {
+        let d = presets::l6(15);
+        assert_eq!(d.neighbor_traps(TrapId(0)), vec![TrapId(1)]);
+        assert_eq!(d.neighbor_traps(TrapId(2)), vec![TrapId(1), TrapId(3)]);
+    }
+
+    #[test]
+    fn neighbor_traps_grid_all_reachable_without_intermediates() {
+        let d = presets::g2x3(15);
+        // In the grid fabric every trap pair is one leg apart.
+        for t in d.trap_ids() {
+            assert_eq!(d.neighbor_traps(t).len(), 5, "trap {t}");
+        }
+    }
+
+    #[test]
+    fn leg_distance_matrix_linear() {
+        let d = presets::l6(15);
+        let m = d.trap_leg_distances();
+        assert_eq!(m[0][5], 5);
+        assert_eq!(m[0][1], 1);
+        assert_eq!(m[3][3], 0);
+    }
+
+    #[test]
+    fn display_summarises_shape() {
+        let text = presets::l6(20).to_string();
+        assert!(text.contains("6 traps"));
+        assert!(text.contains("capacity 120"));
+    }
+}

@@ -1,0 +1,97 @@
+//! Shuttling operation durations (Table I).
+//!
+//! "In Table I we give the times for the various shuttling operations,
+//! obtained from real characterization experiments" (§VII-B, constants
+//! summarized from Gutiérrez, Müller, Bermúdez PRA 2019). The physical
+//! ion-rotation time used by IS chain reordering comes from Kaufmann et
+//! al.'s fast-ion-swapping demonstration (paper reference 63).
+
+use serde::{Deserialize, Serialize};
+
+/// Durations (µs) of the primitive shuttling operations.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShuttleTimes {
+    /// Moving an ion through one unit segment.
+    pub move_per_segment: f64,
+    /// Splitting an ion off a chain.
+    pub split: f64,
+    /// Merging an ion into a chain.
+    pub merge: f64,
+    /// Crossing a 3-way (Y) junction.
+    pub junction_y: f64,
+    /// Crossing a 4-way (X) junction.
+    pub junction_x: f64,
+    /// Physically rotating an adjacent ion pair by 180° (the IS reordering
+    /// primitive; not in Table I — from Kaufmann et al. 2017).
+    pub ion_rotation: f64,
+}
+
+impl ShuttleTimes {
+    /// The exact Table I values.
+    pub const TABLE_I: ShuttleTimes = ShuttleTimes {
+        move_per_segment: 5.0,
+        split: 80.0,
+        merge: 80.0,
+        junction_y: 100.0,
+        junction_x: 120.0,
+        ion_rotation: 42.0,
+    };
+
+    /// Duration of an in-flight move over `segments` unit segments
+    /// crossing `y_junctions` 3-way and `x_junctions` 4-way junctions.
+    pub fn move_time(&self, segments: u32, y_junctions: u32, x_junctions: u32) -> f64 {
+        self.move_per_segment * f64::from(segments)
+            + self.junction_y * f64::from(y_junctions)
+            + self.junction_x * f64::from(x_junctions)
+    }
+
+    /// Duration of one IS adjacent-pair exchange: split, 180° rotation,
+    /// merge (paper §IV-C).
+    pub fn ion_swap_time(&self) -> f64 {
+        self.split + self.ion_rotation + self.merge
+    }
+}
+
+impl Default for ShuttleTimes {
+    fn default() -> Self {
+        Self::TABLE_I
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_i_values_are_the_published_ones() {
+        let t = ShuttleTimes::default();
+        assert_eq!(t.move_per_segment, 5.0);
+        assert_eq!(t.split, 80.0);
+        assert_eq!(t.merge, 80.0);
+        assert_eq!(t.junction_y, 100.0);
+        assert_eq!(t.junction_x, 120.0);
+    }
+
+    #[test]
+    fn move_time_adds_components() {
+        let t = ShuttleTimes::default();
+        assert_eq!(t.move_time(4, 0, 0), 20.0);
+        assert_eq!(t.move_time(4, 1, 0), 120.0);
+        assert_eq!(t.move_time(2, 0, 2), 250.0);
+    }
+
+    #[test]
+    fn ion_swap_combines_split_rotate_merge() {
+        let t = ShuttleTimes::default();
+        assert_eq!(t.ion_swap_time(), 80.0 + 42.0 + 80.0);
+    }
+
+    #[test]
+    fn custom_times_flow_through() {
+        let t = ShuttleTimes {
+            move_per_segment: 1.0,
+            ..ShuttleTimes::default()
+        };
+        assert_eq!(t.move_time(10, 0, 0), 10.0);
+    }
+}

@@ -1,0 +1,57 @@
+//! Simulator error type.
+
+use qccd_device::{IonId, TrapId};
+use std::fmt;
+
+/// Errors raised while interpreting an executable.
+///
+/// A well-formed executable produced by `qccd-compiler` for the same
+/// device never triggers these; they guard against mismatched
+/// device/executable pairs and hand-written executables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// An instruction referenced a trap the device does not have.
+    UnknownTrap(TrapId),
+    /// An instruction referenced an ion outside the executable's range.
+    UnknownIon(IonId),
+    /// A split named an ion that is not at the required chain end.
+    SplitNotAtEnd(IonId, TrapId),
+    /// A move/merge named an ion that is not in flight.
+    IonNotInFlight(IonId),
+    /// A gate named ions that are not co-located in one trap.
+    NotColocated(IonId, IonId),
+    /// An ion-swap named ions that are not chain-adjacent.
+    NotAdjacent(IonId, IonId),
+    /// A gate or split/merge targeted an ion that is in flight.
+    IonInFlight(IonId),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownTrap(t) => write!(f, "executable references unknown trap {t}"),
+            SimError::UnknownIon(i) => write!(f, "executable references unknown ion {i}"),
+            SimError::SplitNotAtEnd(i, t) => {
+                write!(f, "split of {i} which is not at the required end of {t}")
+            }
+            SimError::IonNotInFlight(i) => write!(f, "{i} is not in flight"),
+            SimError::NotColocated(a, b) => write!(f, "{a} and {b} are not in the same trap"),
+            SimError::NotAdjacent(a, b) => write!(f, "{a} and {b} are not chain-adjacent"),
+            SimError::IonInFlight(i) => write!(f, "{i} is in flight and cannot be gated"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_name_the_entities() {
+        let e = SimError::NotColocated(IonId(3), IonId(9));
+        assert!(e.to_string().contains("ion3"));
+        assert!(e.to_string().contains("ion9"));
+    }
+}

@@ -1,0 +1,130 @@
+//! Interval bookkeeping for the compute/communication time decomposition
+//! (the Fig. 6b analysis).
+
+/// Accumulates time intervals and measures their union.
+///
+/// Used to answer "for how much wall-clock time was at least one gate
+/// executing?" without double-counting overlapping intervals.
+#[derive(Debug, Clone, Default)]
+pub struct SpanSet {
+    intervals: Vec<(f64, f64)>,
+}
+
+impl SpanSet {
+    /// Creates an empty span set.
+    pub fn new() -> Self {
+        SpanSet::default()
+    }
+
+    /// Records the interval `[start, end)`. Zero- or negative-length
+    /// intervals are ignored.
+    pub fn add(&mut self, start: f64, end: f64) {
+        if end > start {
+            self.intervals.push((start, end));
+        }
+    }
+
+    /// Total length of the union of all recorded intervals.
+    pub fn union_length(&self) -> f64 {
+        let mut iv = self.intervals.clone();
+        iv.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut total = 0.0;
+        let mut cur: Option<(f64, f64)> = None;
+        for (s, e) in iv {
+            match cur {
+                None => cur = Some((s, e)),
+                Some((cs, ce)) => {
+                    if s <= ce {
+                        cur = Some((cs, ce.max(e)));
+                    } else {
+                        total += ce - cs;
+                        cur = Some((s, e));
+                    }
+                }
+            }
+        }
+        if let Some((cs, ce)) = cur {
+            total += ce - cs;
+        }
+        total
+    }
+
+    /// Length of the union of `self` minus its overlap with `other`
+    /// (time covered by `self` but not by `other`).
+    pub fn union_length_excluding(&self, other: &SpanSet) -> f64 {
+        // Sweep over both sets of boundaries.
+        let mut events: Vec<(f64, i32, i32)> = Vec::new();
+        for &(s, e) in &self.intervals {
+            events.push((s, 1, 0));
+            events.push((e, -1, 0));
+        }
+        for &(s, e) in &other.intervals {
+            events.push((s, 0, 1));
+            events.push((e, 0, -1));
+        }
+        events.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut mine = 0;
+        let mut theirs = 0;
+        let mut last = f64::NEG_INFINITY;
+        let mut total = 0.0;
+        for (t, dm, dt) in events {
+            if mine > 0 && theirs == 0 && last.is_finite() {
+                total += t - last;
+            }
+            mine += dm;
+            theirs += dt;
+            last = t;
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_merges_overlaps() {
+        let mut s = SpanSet::new();
+        s.add(0.0, 10.0);
+        s.add(5.0, 15.0);
+        s.add(20.0, 25.0);
+        assert!((s.union_length() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_degenerate_intervals() {
+        let mut s = SpanSet::new();
+        assert_eq!(s.union_length(), 0.0);
+        s.add(5.0, 5.0);
+        s.add(7.0, 3.0);
+        assert_eq!(s.union_length(), 0.0);
+    }
+
+    #[test]
+    fn exclusion_subtracts_overlap() {
+        let mut comm = SpanSet::new();
+        comm.add(0.0, 10.0);
+        let mut gates = SpanSet::new();
+        gates.add(4.0, 6.0);
+        // Communication-only time: [0,4) and [6,10) = 8.
+        assert!((comm.union_length_excluding(&gates) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exclusion_with_no_overlap_is_full_union() {
+        let mut a = SpanSet::new();
+        a.add(0.0, 3.0);
+        a.add(10.0, 12.0);
+        let b = SpanSet::new();
+        assert!((a.union_length_excluding(&b) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adjacent_intervals_do_not_double_count() {
+        let mut s = SpanSet::new();
+        s.add(0.0, 5.0);
+        s.add(5.0, 10.0);
+        assert!((s.union_length() - 10.0).abs() < 1e-12);
+    }
+}

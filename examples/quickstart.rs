@@ -1,0 +1,56 @@
+//! Quickstart: run one NISQ benchmark through the QCCD design toolflow.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Builds the paper's L6 device (six linear traps, capacity 20), compiles
+//! the Bernstein–Vazirani benchmark onto it and simulates the execution
+//! with the default FM-gate physical model, printing the paper's key
+//! metrics: runtime, fidelity and device heating.
+
+use qccd::Toolflow;
+use qccd_circuit::generators;
+use qccd_device::presets;
+use qccd_physics::PhysicalModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. A candidate QCCD architecture (Fig. 3 input #1).
+    let device = presets::l6(20);
+    println!("device: {device}");
+
+    // 2. A NISQ application (Fig. 3 input #2): BV on 64 qubits.
+    let circuit = generators::bv_paper();
+    println!(
+        "circuit: {} ({} qubits, {} two-qubit gates)",
+        circuit.name(),
+        circuit.num_qubits(),
+        circuit.two_qubit_gate_count()
+    );
+
+    // 3. Realistic performance models (Fig. 3 input #3).
+    let model = PhysicalModel::default();
+
+    // Compile + simulate.
+    let toolflow = Toolflow::new(device, model);
+    let report = toolflow.run(&circuit)?;
+
+    println!("\n{report}");
+    println!(
+        "\nshuttling: {} splits, {} moves ({} junction crossings), {} merges",
+        report.counts.splits,
+        report.counts.moves,
+        report.counts.junction_crossings,
+        report.counts.merges
+    );
+    println!(
+        "reliability: fidelity {:.4}, dominated by {}",
+        report.fidelity(),
+        if report.ms_motional_error_sum > report.ms_background_error_sum {
+            "motional-mode (heating) error"
+        } else {
+            "background heating error"
+        }
+    );
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! Trap-sizing study (the Fig. 6 question, §IX-A): how does per-trap
+//! capacity affect runtime and reliability?
+//!
+//! ```text
+//! cargo run --release --example trap_sizing [app]
+//! ```
+//!
+//! Sweeps capacities 14–34 on the linear L6 device for one benchmark
+//! (default: supremacy) and prints the capacity/runtime/fidelity/heating
+//! series the paper plots.
+
+use qccd::sweep::capacity_sweep;
+use qccd_circuit::generators::Benchmark;
+use qccd_compiler::CompilerConfig;
+use qccd_device::presets;
+use qccd_physics::PhysicalModel;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bench: Benchmark = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "supremacy".into())
+        .parse()?;
+    let circuit = bench.build();
+    println!(
+        "trap sizing study: {} ({} qubits) on L6, FM gates, GS reordering\n",
+        circuit.name(),
+        circuit.num_qubits()
+    );
+
+    let capacities: Vec<u32> = (14..=34).step_by(2).collect();
+    let points = capacity_sweep(
+        &circuit,
+        &capacities,
+        &PhysicalModel::default(),
+        &CompilerConfig::default(),
+        presets::l6,
+    );
+
+    println!(
+        "{:>9} {:>11} {:>13} {:>13} {:>9}",
+        "capacity", "time (s)", "fidelity", "peak n̄", "shuttles"
+    );
+    for p in points {
+        match p.outcome {
+            Ok(r) => println!(
+                "{:>9} {:>11.4} {:>13.4e} {:>13.3} {:>9}",
+                p.capacity,
+                r.total_time_s(),
+                r.fidelity(),
+                r.peak_motional_energy,
+                r.counts.splits
+            ),
+            Err(e) => println!("{:>9}  infeasible: {e}", p.capacity),
+        }
+    }
+    println!(
+        "\npaper takeaway: a 15–25 ion sweet spot balances communication \
+         (dominates small traps) against heating hot spots and laser-beam \
+         instability (dominate large traps)."
+    );
+    Ok(())
+}

@@ -1,0 +1,13 @@
+//! Umbrella crate for the QCCD-Sim workspace.
+//!
+//! Re-exports every member crate under one roof so the examples and
+//! integration tests in this repository can `use qccd_suite::…`. Library
+//! consumers should normally depend on the individual crates (`qccd`,
+//! `qccd-circuit`, …) directly.
+
+pub use qccd;
+pub use qccd_circuit as circuit;
+pub use qccd_compiler as compiler;
+pub use qccd_device as device;
+pub use qccd_physics as physics;
+pub use qccd_sim as sim;

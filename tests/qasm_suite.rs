@@ -1,0 +1,40 @@
+//! The Table II suite through the OpenQASM interface: exporting a
+//! benchmark and re-importing it must produce identical toolflow results
+//! (the paper consumes all its workloads through this interface).
+
+use qccd::Toolflow;
+use qccd_circuit::{generators::Benchmark, qasm};
+use qccd_device::presets;
+use qccd_physics::PhysicalModel;
+
+#[test]
+fn imported_circuits_reproduce_native_results() {
+    // The two cheapest suite members keep this test quick while covering
+    // both parametric rotations (QAOA) and plain Cliffords (BV).
+    for bench in [Benchmark::Bv, Benchmark::Qaoa] {
+        let native = bench.build();
+        let text = qasm::write(&native);
+        let mut imported = qasm::parse(&text).expect("suite QASM reparses");
+        imported.set_name(native.name());
+
+        let tf = Toolflow::new(presets::l6(20), PhysicalModel::default());
+        let native_report = tf.run(&native).expect("native runs");
+        let imported_report = tf.run(&imported).expect("imported runs");
+        assert_eq!(native_report, imported_report, "{bench}");
+    }
+}
+
+#[test]
+fn full_suite_survives_qasm_round_trip() {
+    for bench in Benchmark::ALL {
+        let native = bench.build();
+        let back = qasm::parse(&qasm::write(&native)).expect("reparses");
+        assert_eq!(back.num_qubits(), native.num_qubits(), "{bench}");
+        assert_eq!(back.len(), native.len(), "{bench}");
+        assert_eq!(
+            back.two_qubit_gate_count(),
+            native.two_qubit_gate_count(),
+            "{bench}"
+        );
+    }
+}

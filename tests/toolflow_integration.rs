@@ -1,0 +1,80 @@
+//! End-to-end integration: every Table II benchmark through the full
+//! toolflow on both paper topologies.
+
+use qccd::Toolflow;
+use qccd_circuit::generators::Benchmark;
+use qccd_device::presets;
+use qccd_physics::PhysicalModel;
+
+#[test]
+fn full_suite_runs_on_l6_and_g2x3() {
+    for bench in Benchmark::ALL {
+        let circuit = bench.build();
+        for device in [presets::l6(20), presets::g2x3(20)] {
+            let name = device.name().to_owned();
+            let tf = Toolflow::new(device, PhysicalModel::default());
+            let r = tf
+                .run(&circuit)
+                .unwrap_or_else(|e| panic!("{bench} on {name}: {e}"));
+            // Basic sanity on every report.
+            assert!(r.total_time_us > 0.0, "{bench}/{name}: no time");
+            assert!(
+                (0.0..=1.0).contains(&r.fidelity()),
+                "{bench}/{name}: fidelity {}",
+                r.fidelity()
+            );
+            assert_eq!(
+                r.counts.two_qubit_gates,
+                circuit.two_qubit_gate_count(),
+                "{bench}/{name}: dropped gates"
+            );
+            assert_eq!(
+                r.counts.measurements,
+                circuit.measure_count(),
+                "{bench}/{name}: dropped measurements"
+            );
+            assert_eq!(r.counts.splits, r.counts.merges, "{bench}/{name}");
+            assert_eq!(r.counts.splits, r.counts.moves, "{bench}/{name}");
+            assert!(
+                r.time.compute_us + r.time.communication_us <= r.total_time_us + 1e-6,
+                "{bench}/{name}: spans exceed makespan"
+            );
+        }
+    }
+}
+
+#[test]
+fn toolflow_is_deterministic_end_to_end() {
+    let circuit = Benchmark::Adder.build();
+    let run = || {
+        Toolflow::new(presets::l6(18), PhysicalModel::default())
+            .run(&circuit)
+            .expect("runs")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn grid_uses_junctions_linear_does_not() {
+    let circuit = Benchmark::SquareRoot.build();
+    let linear = Toolflow::new(presets::l6(20), PhysicalModel::default())
+        .run(&circuit)
+        .expect("linear runs");
+    let grid = Toolflow::new(presets::g2x3(20), PhysicalModel::default())
+        .run(&circuit)
+        .expect("grid runs");
+    assert_eq!(linear.counts.junction_crossings, 0);
+    assert!(grid.counts.junction_crossings > 0);
+}
+
+#[test]
+fn infeasible_capacity_fails_cleanly() {
+    // SquareRoot needs 78 qubits; L6(12) holds 72.
+    let circuit = Benchmark::SquareRoot.build();
+    let err = Toolflow::new(presets::l6(12), PhysicalModel::default())
+        .run(&circuit)
+        .unwrap_err();
+    assert!(err.to_string().contains("78"));
+}
