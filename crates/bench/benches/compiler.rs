@@ -49,5 +49,11 @@ fn bench_qasm(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_mapping, bench_routing, bench_compile, bench_qasm);
+criterion_group!(
+    benches,
+    bench_mapping,
+    bench_routing,
+    bench_compile,
+    bench_qasm
+);
 criterion_main!(benches);

@@ -53,5 +53,10 @@ fn bench_fig8_point(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_fig6_point, bench_fig7_point, bench_fig8_point);
+criterion_group!(
+    benches,
+    bench_fig6_point,
+    bench_fig7_point,
+    bench_fig8_point
+);
 criterion_main!(benches);

@@ -61,5 +61,10 @@ fn bench_reorder_methods(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_end_to_end, bench_gate_impls, bench_reorder_methods);
+criterion_group!(
+    benches,
+    bench_end_to_end,
+    bench_gate_impls,
+    bench_reorder_methods
+);
 criterion_main!(benches);

@@ -31,8 +31,11 @@ fn main() {
 
     if let Some(path) = args.json.as_deref() {
         let bundle = serde_json::json!({"a1": a1, "a2": a2, "a3": a3, "a4": a4});
-        std::fs::write(path, serde_json::to_string_pretty(&bundle).expect("serializes"))
-            .expect("json written");
+        std::fs::write(
+            path,
+            serde_json::to_string_pretty(&bundle).expect("serializes"),
+        )
+        .expect("json written");
         eprintln!("wrote {}", path.display());
     }
 }

@@ -23,8 +23,11 @@ fn main() {
         let bundle = serde_json::json!({
             "table1": t1, "table2": t2, "fig6": f6, "fig7": f7, "fig8": f8,
         });
-        std::fs::write(path, serde_json::to_string_pretty(&bundle).expect("serializes"))
-            .expect("json written");
+        std::fs::write(
+            path,
+            serde_json::to_string_pretty(&bundle).expect("serializes"),
+        )
+        .expect("json written");
         eprintln!("wrote {}", path.display());
     }
 }

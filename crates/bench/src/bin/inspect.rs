@@ -19,8 +19,18 @@ fn main() {
     };
     println!(
         "{:<12}{:>5}{:>9}{:>8}{:>8}{:>8}{:>9}{:>10}{:>10}{:>11}{:>11}{:>10}",
-        "app", "cap", "ms", "swaps", "splits", "moves", "peakE", "meanMot", "meanBg", "fidelity",
-        "time_s", "wait_s"
+        "app",
+        "cap",
+        "ms",
+        "swaps",
+        "splits",
+        "moves",
+        "peakE",
+        "meanMot",
+        "meanBg",
+        "fidelity",
+        "time_s",
+        "wait_s"
     );
     for b in Benchmark::ALL {
         let circuit = b.build();

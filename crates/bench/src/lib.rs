@@ -9,6 +9,8 @@
 //! cargo run --release -p qccd-bench --bin fig8 -- --caps 14,20,26 --json fig8.json
 //! ```
 
+#![warn(missing_docs)]
+
 use qccd::experiments::{PAPER_CAPACITIES, QUICK_CAPACITIES};
 use serde::Serialize;
 use std::path::{Path, PathBuf};

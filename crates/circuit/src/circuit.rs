@@ -307,7 +307,7 @@ impl Circuit {
     /// Appends a Toffoli (CCX) on controls `a`, `b` and target `t`,
     /// decomposed into the standard 6-CNOT + 1-qubit network.
     pub fn toffoli(&mut self, a: Qubit, b: Qubit, t: Qubit) {
-        use OneQubitGate::{H, T, Tdg};
+        use OneQubitGate::{Tdg, H, T};
         self.one_qubit(H, t);
         self.cx(b, t);
         self.one_qubit(Tdg, t);

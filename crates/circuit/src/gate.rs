@@ -145,7 +145,10 @@ impl TwoQubitGate {
 
     /// Whether the gate is symmetric under exchange of its operands.
     pub fn is_symmetric(&self) -> bool {
-        matches!(self, TwoQubitGate::Cz | TwoQubitGate::Ms | TwoQubitGate::Swap)
+        matches!(
+            self,
+            TwoQubitGate::Cz | TwoQubitGate::Ms | TwoQubitGate::Swap
+        )
     }
 }
 

@@ -134,7 +134,11 @@ mod tests {
     fn pattern_mixes_short_and_long_range() {
         let stats = CircuitStats::of(&square_root_paper());
         assert!(stats.max_distance > 39, "expected long-range interactions");
-        assert_eq!(stats.distance_histogram[0].min(1), 1, "expected short-range too");
+        assert_eq!(
+            stats.distance_histogram[0].min(1),
+            1,
+            "expected short-range too"
+        );
         assert!(matches!(
             stats.pattern,
             CommunicationPattern::ShortAndLongRange | CommunicationPattern::AllDistances

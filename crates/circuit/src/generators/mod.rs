@@ -203,21 +203,18 @@ mod tests {
     fn communication_patterns_match_table_ii() {
         use crate::analysis::CommunicationPattern as P;
         let cases = [
-            (Benchmark::Supremacy, vec![P::NearestNeighbor, P::ShortRange]),
+            (
+                Benchmark::Supremacy,
+                vec![P::NearestNeighbor, P::ShortRange],
+            ),
             (Benchmark::Qaoa, vec![P::NearestNeighbor]),
             (
                 Benchmark::SquareRoot,
                 vec![P::ShortAndLongRange, P::AllDistances],
             ),
             (Benchmark::Qft, vec![P::AllDistances]),
-            (
-                Benchmark::Adder,
-                vec![P::ShortRange, P::NearestNeighbor],
-            ),
-            (
-                Benchmark::Bv,
-                vec![P::ShortAndLongRange, P::AllDistances],
-            ),
+            (Benchmark::Adder, vec![P::ShortRange, P::NearestNeighbor]),
+            (Benchmark::Bv, vec![P::ShortAndLongRange, P::AllDistances]),
         ];
         for (b, accepted) in cases {
             let stats = CircuitStats::of(&b.build());

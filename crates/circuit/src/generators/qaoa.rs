@@ -86,10 +86,7 @@ mod tests {
             let c = qaoa(n, p, 3);
             assert_eq!(c.two_qubit_gate_count() as u32, 2 * (n - 1) * p);
             // H layer + per-round Rz and Rx layers.
-            assert_eq!(
-                c.one_qubit_gate_count() as u32,
-                n + p * ((n - 1) + n)
-            );
+            assert_eq!(c.one_qubit_gate_count() as u32, n + p * ((n - 1) + n));
         }
     }
 

@@ -45,7 +45,10 @@ pub fn random_circuit(n: u32, ops: usize, two_qubit_fraction: f64, seed: u64) ->
             };
             c.cx(Qubit(a), Qubit(b));
         } else if rng.gen_bool(0.3) {
-            c.rz(rng.gen_range(0.0..std::f64::consts::TAU), Qubit(rng.gen_range(0..n)));
+            c.rz(
+                rng.gen_range(0.0..std::f64::consts::TAU),
+                Qubit(rng.gen_range(0..n)),
+            );
         } else {
             let g = singles[rng.gen_range(0..singles.len())];
             c.one_qubit(g, Qubit(rng.gen_range(0..n)));

@@ -26,10 +26,7 @@ use super::PAPER_SEED;
 pub fn supremacy(rows: u32, cols: u32, layers: u32, seed: u64) -> Circuit {
     assert!(rows > 0 && cols > 0, "grid must be non-empty");
     let n = rows * cols;
-    let mut c = Circuit::new(
-        format!("supremacy_{rows}x{cols}_d{layers}"),
-        n,
-    );
+    let mut c = Circuit::new(format!("supremacy_{rows}x{cols}_d{layers}"), n);
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let q = |r: u32, col: u32| Qubit(r * cols + col);
 
@@ -50,7 +47,11 @@ pub fn supremacy(rows: u32, cols: u32, layers: u32, seed: u64) -> Circuit {
         }
     }
 
-    let single_qubit_set = [OneQubitGate::SqrtX, OneQubitGate::SqrtY, OneQubitGate::SqrtW];
+    let single_qubit_set = [
+        OneQubitGate::SqrtX,
+        OneQubitGate::SqrtY,
+        OneQubitGate::SqrtW,
+    ];
     let mut last_gate: Vec<Option<usize>> = vec![None; n as usize];
 
     for layer in 0..layers {

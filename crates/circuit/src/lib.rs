@@ -28,6 +28,8 @@
 //! assert_eq!(bell.two_qubit_gate_count(), 1);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod analysis;
 pub mod circuit;
 pub mod dag;

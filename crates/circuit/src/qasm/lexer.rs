@@ -89,47 +89,80 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, (u32, String)> {
                 }
             }
             ';' => {
-                tokens.push(Token { kind: TokenKind::Semicolon, line });
+                tokens.push(Token {
+                    kind: TokenKind::Semicolon,
+                    line,
+                });
                 i += 1;
             }
             ',' => {
-                tokens.push(Token { kind: TokenKind::Comma, line });
+                tokens.push(Token {
+                    kind: TokenKind::Comma,
+                    line,
+                });
                 i += 1;
             }
             '(' => {
-                tokens.push(Token { kind: TokenKind::LParen, line });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    line,
+                });
                 i += 1;
             }
             ')' => {
-                tokens.push(Token { kind: TokenKind::RParen, line });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    line,
+                });
                 i += 1;
             }
             '[' => {
-                tokens.push(Token { kind: TokenKind::LBracket, line });
+                tokens.push(Token {
+                    kind: TokenKind::LBracket,
+                    line,
+                });
                 i += 1;
             }
             ']' => {
-                tokens.push(Token { kind: TokenKind::RBracket, line });
+                tokens.push(Token {
+                    kind: TokenKind::RBracket,
+                    line,
+                });
                 i += 1;
             }
             '+' => {
-                tokens.push(Token { kind: TokenKind::Plus, line });
+                tokens.push(Token {
+                    kind: TokenKind::Plus,
+                    line,
+                });
                 i += 1;
             }
             '*' => {
-                tokens.push(Token { kind: TokenKind::Star, line });
+                tokens.push(Token {
+                    kind: TokenKind::Star,
+                    line,
+                });
                 i += 1;
             }
             '/' => {
-                tokens.push(Token { kind: TokenKind::Slash, line });
+                tokens.push(Token {
+                    kind: TokenKind::Slash,
+                    line,
+                });
                 i += 1;
             }
             '-' => {
                 if bytes.get(i + 1) == Some(&'>') {
-                    tokens.push(Token { kind: TokenKind::Arrow, line });
+                    tokens.push(Token {
+                        kind: TokenKind::Arrow,
+                        line,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Token { kind: TokenKind::Minus, line });
+                    tokens.push(Token {
+                        kind: TokenKind::Minus,
+                        line,
+                    });
                     i += 1;
                 }
             }
@@ -146,7 +179,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, (u32, String)> {
                     return Err((line, "unterminated string literal".to_owned()));
                 }
                 let s: String = bytes[start..j].iter().collect();
-                tokens.push(Token { kind: TokenKind::Str(s), line });
+                tokens.push(Token {
+                    kind: TokenKind::Str(s),
+                    line,
+                });
                 i = j + 1;
             }
             c if c.is_ascii_digit() || c == '.' => {
@@ -171,7 +207,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, (u32, String)> {
                 let value: f64 = text
                     .parse()
                     .map_err(|_| (line, format!("invalid numeric literal `{text}`")))?;
-                tokens.push(Token { kind: TokenKind::Number(value), line });
+                tokens.push(Token {
+                    kind: TokenKind::Number(value),
+                    line,
+                });
                 i = j;
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
@@ -181,7 +220,10 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, (u32, String)> {
                     j += 1;
                 }
                 let s: String = bytes[start..j].iter().collect();
-                tokens.push(Token { kind: TokenKind::Ident(s), line });
+                tokens.push(Token {
+                    kind: TokenKind::Ident(s),
+                    line,
+                });
                 i = j;
             }
             other => {
@@ -238,7 +280,10 @@ mod tests {
     fn comments_and_lines_tracked() {
         let toks = tokenize("h q; // a comment\ncx q, r;").unwrap();
         assert_eq!(toks[0].line, 1);
-        let cx = toks.iter().find(|t| t.kind == TokenKind::Ident("cx".into())).unwrap();
+        let cx = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::Ident("cx".into()))
+            .unwrap();
         assert_eq!(cx.line, 2);
     }
 

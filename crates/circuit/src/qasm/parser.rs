@@ -34,7 +34,11 @@ impl QasmError {
 
 impl fmt::Display for QasmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "qasm parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "qasm parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -141,7 +145,10 @@ impl Parser {
                 t.line,
                 format!("expected identifier, found {}", t.kind),
             )),
-            None => Err(QasmError::new(self.line(), "expected identifier, found end of input")),
+            None => Err(QasmError::new(
+                self.line(),
+                "expected identifier, found end of input",
+            )),
         }
     }
 
@@ -166,10 +173,18 @@ impl Parser {
                 line,
             }) => {
                 if (v - 2.0).abs() > 1e-9 {
-                    return Err(QasmError::new(line, format!("unsupported OPENQASM version {v}")));
+                    return Err(QasmError::new(
+                        line,
+                        format!("unsupported OPENQASM version {v}"),
+                    ));
                 }
             }
-            _ => return Err(QasmError::new(line, "expected version number after OPENQASM")),
+            _ => {
+                return Err(QasmError::new(
+                    line,
+                    "expected version number after OPENQASM",
+                ))
+            }
         }
         self.expect(&TokenKind::Semicolon)?;
 
@@ -185,7 +200,10 @@ impl Parser {
                                 ..
                             }) => {}
                             _ => {
-                                return Err(QasmError::new(tok.line, "expected string after include"))
+                                return Err(QasmError::new(
+                                    tok.line,
+                                    "expected string after include",
+                                ))
                             }
                         }
                         self.expect(&TokenKind::Semicolon)?;
@@ -228,7 +246,12 @@ impl Parser {
                 kind: TokenKind::Number(v),
                 ..
             }) if v >= 1.0 && v.fract() == 0.0 => v as u32,
-            _ => return Err(QasmError::new(line, "register size must be a positive integer")),
+            _ => {
+                return Err(QasmError::new(
+                    line,
+                    "register size must be a positive integer",
+                ))
+            }
         };
         self.expect(&TokenKind::RBracket)?;
         self.expect(&TokenKind::Semicolon)?;
@@ -240,7 +263,12 @@ impl Parser {
             self.num_qubits += size;
             self.qregs.insert(name, Register { base, size });
         } else {
-            let base = self.cregs.values().map(|r| r.base + r.size).max().unwrap_or(0);
+            let base = self
+                .cregs
+                .values()
+                .map(|r| r.base + r.size)
+                .max()
+                .unwrap_or(0);
             self.cregs.insert(name, Register { base, size });
         }
         Ok(())
@@ -258,7 +286,12 @@ impl Parser {
                     kind: TokenKind::Number(v),
                     ..
                 }) if v >= 0.0 && v.fract() == 0.0 => v as u32,
-                _ => return Err(QasmError::new(line, "register index must be a non-negative integer")),
+                _ => {
+                    return Err(QasmError::new(
+                        line,
+                        "register index must be a non-negative integer",
+                    ))
+                }
             };
             self.expect(&TokenKind::RBracket)?;
             if idx >= reg.size {
@@ -277,17 +310,21 @@ impl Parser {
     /// identity is not stored (the IR has no classical registers).
     fn classical_operand(&mut self) -> Result<(), QasmError> {
         let (name, line) = self.expect_ident()?;
-        let reg = *self
-            .cregs
-            .get(&name)
-            .ok_or_else(|| QasmError::new(line, format!("undeclared classical register `{name}`")))?;
+        let reg = *self.cregs.get(&name).ok_or_else(|| {
+            QasmError::new(line, format!("undeclared classical register `{name}`"))
+        })?;
         if self.eat(&TokenKind::LBracket) {
             let idx = match self.bump() {
                 Some(Token {
                     kind: TokenKind::Number(v),
                     ..
                 }) if v >= 0.0 && v.fract() == 0.0 => v as u32,
-                _ => return Err(QasmError::new(line, "register index must be a non-negative integer")),
+                _ => {
+                    return Err(QasmError::new(
+                        line,
+                        "register index must be a non-negative integer",
+                    ))
+                }
             };
             self.expect(&TokenKind::RBracket)?;
             if idx >= reg.size {
@@ -356,7 +393,10 @@ impl Parser {
             } else {
                 Err(QasmError::new(
                     line,
-                    format!("gate `{name}` expects {n} parameter(s), got {}", params.len()),
+                    format!(
+                        "gate `{name}` expects {n} parameter(s), got {}",
+                        params.len()
+                    ),
                 ))
             }
         };
@@ -428,7 +468,10 @@ impl Parser {
             let (a, b) = (operands[0], operands[1]);
             let broadcast = a.len().max(b.len());
             if (a.len() != 1 && a.len() != broadcast) || (b.len() != 1 && b.len() != broadcast) {
-                return Err(QasmError::new(line, "mismatched register sizes in broadcast"));
+                return Err(QasmError::new(
+                    line,
+                    "mismatched register sizes in broadcast",
+                ));
             }
             for i in 0..broadcast {
                 let qa = a.nth(if a.len() == 1 { 0 } else { i });
@@ -465,7 +508,10 @@ impl Parser {
             } else if self.eat(&TokenKind::Slash) {
                 let rhs = self.factor()?;
                 if rhs == 0.0 {
-                    return Err(QasmError::new(self.line(), "division by zero in angle expression"));
+                    return Err(QasmError::new(
+                        self.line(),
+                        "division by zero in angle expression",
+                    ));
                 }
                 value /= rhs;
             } else {
@@ -487,7 +533,10 @@ impl Parser {
                 if s == "pi" {
                     Ok(std::f64::consts::PI)
                 } else {
-                    Err(QasmError::new(line, format!("unknown symbol `{s}` in expression")))
+                    Err(QasmError::new(
+                        line,
+                        format!("unknown symbol `{s}` in expression"),
+                    ))
                 }
             }
             Some(Token {
@@ -506,7 +555,10 @@ impl Parser {
                 t.line,
                 format!("expected expression, found {}", t.kind),
             )),
-            None => Err(QasmError::new(self.line(), "expected expression, found end of input")),
+            None => Err(QasmError::new(
+                self.line(),
+                "expected expression, found end of input",
+            )),
         }
     }
 }

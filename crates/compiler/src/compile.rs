@@ -255,12 +255,7 @@ impl Ctx<'_> {
             .device
             .trap_ids()
             .filter(|&t| t != trap && self.free_slots(t) > 0)
-            .filter_map(|t| {
-                self.device
-                    .route(trap, t)
-                    .ok()
-                    .map(|r| (t, r.legs().len()))
-            })
+            .filter_map(|t| self.device.route(trap, t).ok().map(|r| (t, r.legs().len())))
             .min_by_key(|&(t, legs)| (legs, std::cmp::Reverse(self.free_slots(t)), t.0))
             .map(|(t, _)| t)
             .ok_or(CompileError::CapacityExhausted { trap })?;
@@ -318,7 +313,10 @@ mod tests {
         c.cx(Qubit(39), Qubit(0));
         let exe = compile(&c, &presets::l6(12), &cfg()).unwrap();
         let counts = exe.counts();
-        assert!(counts.swap_gates > 0, "expected GS reorders on linear route");
+        assert!(
+            counts.swap_gates > 0,
+            "expected GS reorders on linear route"
+        );
         assert_eq!(counts.ion_swaps, 0);
     }
 
@@ -403,12 +401,7 @@ mod tests {
         // nearest-neighbour gates always depart from chain ends.
         let c = generators::qaoa(30, 2, 7);
         for reorder in ReorderMethod::ALL {
-            let exe = compile(
-                &c,
-                &presets::l6(8),
-                &CompilerConfig::with_reorder(reorder),
-            )
-            .unwrap();
+            let exe = compile(&c, &presets::l6(8), &CompilerConfig::with_reorder(reorder)).unwrap();
             let counts = exe.counts();
             assert_eq!(counts.swap_gates, 0, "{reorder}");
             assert_eq!(counts.ion_swaps, 0, "{reorder}");

@@ -46,7 +46,11 @@ pub struct ParseReorderError {
 
 impl fmt::Display for ParseReorderError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "unknown reorder method `{}` (expected GS or IS)", self.name)
+        write!(
+            f,
+            "unknown reorder method `{}` (expected GS or IS)",
+            self.name
+        )
     }
 }
 
@@ -113,7 +117,10 @@ mod tests {
         for m in ReorderMethod::ALL {
             assert_eq!(m.name().parse::<ReorderMethod>().unwrap(), m);
         }
-        assert_eq!("is".parse::<ReorderMethod>().unwrap(), ReorderMethod::IonSwap);
+        assert_eq!(
+            "is".parse::<ReorderMethod>().unwrap(),
+            ReorderMethod::IonSwap
+        );
         assert!("xy".parse::<ReorderMethod>().is_err());
     }
 

@@ -282,7 +282,13 @@ mod tests {
             },
             Inst::Measure { ion: IonId(0) },
         ];
-        let exe = Executable::new("t".into(), 2, vec![vec![IonId(0), IonId(1)]], insts, vec![0, 1]);
+        let exe = Executable::new(
+            "t".into(),
+            2,
+            vec![vec![IonId(0), IonId(1)]],
+            insts,
+            vec![0, 1],
+        );
         let c = exe.counts();
         assert_eq!(c.one_qubit_gates, 1);
         assert_eq!(c.two_qubit_gates, 1);

@@ -45,6 +45,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod compile;
 pub mod config;
 pub mod error;

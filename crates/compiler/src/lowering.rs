@@ -87,7 +87,10 @@ mod tests {
     use super::*;
 
     fn ms_count(insts: &[Inst]) -> usize {
-        insts.iter().filter(|i| matches!(i, Inst::Ms { .. })).count()
+        insts
+            .iter()
+            .filter(|i| matches!(i, Inst::Ms { .. }))
+            .count()
     }
 
     fn one_q_count(insts: &[Inst]) -> usize {
@@ -128,6 +131,12 @@ mod tests {
     fn native_ms_lowering_is_identity() {
         let mut out = Vec::new();
         lower_two_qubit(TwoQubitGate::Ms, IonId(0), IonId(1), &mut out);
-        assert_eq!(out, vec![Inst::Ms { a: IonId(0), b: IonId(1) }]);
+        assert_eq!(
+            out,
+            vec![Inst::Ms {
+                a: IonId(0),
+                b: IonId(1)
+            }]
+        );
     }
 }

@@ -92,9 +92,7 @@ pub fn heating_ablation(circuit: &Circuit, capacities: &[u32]) -> Figure {
                 y_label: "quanta".into(),
                 x: capacities.to_vec(),
                 series: vec![
-                    series_of("scaled-k1", &scaled, |r: &SimReport| {
-                        r.peak_motional_energy
-                    }),
+                    series_of("scaled-k1", &scaled, |r: &SimReport| r.peak_motional_energy),
                     series_of("constant-k1", &constant, |r: &SimReport| {
                         r.peak_motional_energy
                     }),
@@ -107,10 +105,7 @@ pub fn heating_ablation(circuit: &Circuit, capacities: &[u32]) -> Figure {
 /// Sensitivity of the grid-vs-linear comparison to the X-junction crossing
 /// time (multiplied by the given factors).
 pub fn junction_cost_sweep(circuit: &Circuit, capacity: u32, factors: &[u32]) -> Figure {
-    let cells: Vec<(u32, u8)> = factors
-        .iter()
-        .flat_map(|&f| [(f, 0u8), (f, 1u8)])
-        .collect();
+    let cells: Vec<(u32, u8)> = factors.iter().flat_map(|&f| [(f, 0u8), (f, 1u8)]).collect();
     let outcomes = parallel_map(&cells, |&(factor, topo)| {
         let shuttle = ShuttleTimes {
             junction_x: ShuttleTimes::TABLE_I.junction_x * f64::from(factor),
@@ -224,7 +219,10 @@ mod tests {
         let linear_dear = p.series[0].y[1].unwrap();
         let grid_cheap = p.series[1].y[0].unwrap();
         let grid_dear = p.series[1].y[1].unwrap();
-        assert!((linear_cheap - linear_dear).abs() < 1e-9, "linear has no junctions");
+        assert!(
+            (linear_cheap - linear_dear).abs() < 1e-9,
+            "linear has no junctions"
+        );
         assert!(grid_dear >= grid_cheap, "grid pays junction costs");
     }
 

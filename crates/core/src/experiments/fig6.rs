@@ -119,10 +119,7 @@ pub fn generate_with_suite(suite: &[Circuit], capacities: &[u32]) -> Figure {
         series: app_series(&|r| r.peak_motional_energy),
     });
 
-    if let Some(sup_idx) = suite
-        .iter()
-        .position(|c| c.name().starts_with("supremacy"))
-    {
+    if let Some(sup_idx) = suite.iter().position(|c| c.name().starts_with("supremacy")) {
         panels.push(Panel {
             id: "6g".into(),
             title: "Supremacy fidelity analysis".into(),
@@ -141,8 +138,7 @@ pub fn generate_with_suite(suite: &[Circuit], capacities: &[u32]) -> Figure {
 
     Figure {
         id: "6".into(),
-        caption: "Trap sizing choices (L6 device, FM two-qubit gates, GS chain reordering)"
-            .into(),
+        caption: "Trap sizing choices (L6 device, FM two-qubit gates, GS chain reordering)".into(),
         panels,
     }
 }

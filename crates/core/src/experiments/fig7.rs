@@ -106,10 +106,7 @@ mod tests {
     use qccd_circuit::generators;
 
     fn mini_suite() -> Vec<Circuit> {
-        vec![
-            generators::square_root(8, 1, 2),
-            generators::qaoa(14, 1, 2),
-        ]
+        vec![generators::square_root(8, 1, 2), generators::qaoa(14, 1, 2)]
     }
 
     #[test]

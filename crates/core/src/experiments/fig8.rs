@@ -29,9 +29,9 @@ pub fn generate_with_suite(suite: &[Circuit], capacities: &[u32]) -> Figure {
         .iter()
         .enumerate()
         .flat_map(|(a, _)| {
-            capacities.iter().flat_map(move |&c| {
-                ReorderMethod::ALL.into_iter().map(move |r| (a, c, r))
-            })
+            capacities
+                .iter()
+                .flat_map(move |&c| ReorderMethod::ALL.into_iter().map(move |r| (a, c, r)))
         })
         .collect();
 
@@ -44,8 +44,11 @@ pub fn generate_with_suite(suite: &[Circuit], capacities: &[u32]) -> Figure {
             Ok(exe) => GateImpl::ALL
                 .iter()
                 .map(|&g| {
-                    let tf =
-                        Toolflow::with_config(presets::l6(cap), PhysicalModel::with_gate(g), config);
+                    let tf = Toolflow::with_config(
+                        presets::l6(cap),
+                        PhysicalModel::with_gate(g),
+                        config,
+                    );
                     tf.simulate(&exe).ok()
                 })
                 .collect(),

@@ -50,6 +50,8 @@ mod tests {
             ..ShuttleTimes::TABLE_I
         };
         let t = generate(&custom);
-        assert!(t.to_string().contains("Splitting operation on a chain | 40µs"));
+        assert!(t
+            .to_string()
+            .contains("Splitting operation on a chain | 40µs"));
     }
 }

@@ -34,6 +34,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod experiments;
 pub mod sweep;
 pub mod toolflow;

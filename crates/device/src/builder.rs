@@ -55,7 +55,9 @@ impl fmt::Display for BuildError {
             BuildError::UnknownJunction(j) => write!(f, "unknown junction {j}"),
             BuildError::PortInUse(t, s) => write!(f, "{s} port of {t} already carries a segment"),
             BuildError::JunctionFull(j) => write!(f, "junction {j} already carries four segments"),
-            BuildError::ZeroLengthSegment => f.write_str("segment length must be at least one unit"),
+            BuildError::ZeroLengthSegment => {
+                f.write_str("segment length must be at least one unit")
+            }
             BuildError::SelfLoop => f.write_str("segment endpoints must be distinct nodes"),
             BuildError::NoTraps => f.write_str("device must contain at least one trap"),
             BuildError::ZeroCapacity(t) => write!(f, "trap {t} has zero capacity"),
@@ -169,7 +171,8 @@ impl DeviceBuilder {
             }
         }
         let id = SegmentId(self.segments.len() as u32);
-        self.segments.push(Segment::new(node_of(a), node_of(b), length));
+        self.segments
+            .push(Segment::new(node_of(a), node_of(b), length));
         for e in [a, b] {
             match e {
                 Endpoint::Trap(t, side) => self.traps[t.index()].set_port(side, id),
@@ -250,7 +253,9 @@ mod tests {
         let t1 = b.add_trap(5);
         let t2 = b.add_trap(5);
         b.connect((t0, Side::Right), (t1, Side::Left), 1).unwrap();
-        let err = b.connect((t0, Side::Right), (t2, Side::Left), 1).unwrap_err();
+        let err = b
+            .connect((t0, Side::Right), (t2, Side::Left), 1)
+            .unwrap_err();
         assert_eq!(err, BuildError::PortInUse(t0, Side::Right));
     }
 
@@ -305,7 +310,10 @@ mod tests {
 
     #[test]
     fn rejects_empty_and_zero_capacity() {
-        assert_eq!(DeviceBuilder::new("e").build().unwrap_err(), BuildError::NoTraps);
+        assert_eq!(
+            DeviceBuilder::new("e").build().unwrap_err(),
+            BuildError::NoTraps
+        );
         let mut b = DeviceBuilder::new("z");
         b.add_trap(0);
         assert!(matches!(b.build(), Err(BuildError::ZeroCapacity(_))));

@@ -35,6 +35,8 @@
 //! assert!(route.intermediate_traps().is_empty());
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod builder;
 pub mod ids;
 pub mod path;

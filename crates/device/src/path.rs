@@ -228,10 +228,7 @@ impl Device {
                         .trap(t)
                         .side_of_port(last)
                         .expect("leg's last segment attaches to its destination trap");
-                    let length_units = leg_segments
-                        .iter()
-                        .map(|&s| self.segment(s).length())
-                        .sum();
+                    let length_units = leg_segments.iter().map(|&s| self.segment(s).length()).sum();
                     legs.push(Leg {
                         from: leg_start_trap,
                         exit_side,
@@ -299,7 +296,10 @@ mod tests {
                 }
                 let r = d.route(a, b).unwrap();
                 assert_eq!(r.legs().len(), 1, "{a}->{b} used intermediate traps");
-                assert!(!r.legs()[0].junctions.is_empty(), "{a}->{b} crossed no junction");
+                assert!(
+                    !r.legs()[0].junctions.is_empty(),
+                    "{a}->{b} crossed no junction"
+                );
             }
         }
     }
@@ -352,7 +352,11 @@ mod tests {
             let shared = [s0.a(), s0.b()]
                 .into_iter()
                 .any(|n| matches!(n, NodeRef::Junction(_)) && (s1.a() == n || s1.b() == n));
-            assert!(shared, "segments {} and {} do not meet at a junction", w[0], w[1]);
+            assert!(
+                shared,
+                "segments {} and {} do not meet at a junction",
+                w[0], w[1]
+            );
         }
     }
 }

@@ -78,8 +78,12 @@ pub fn grid(rows: u32, cols: u32, capacity: u32, stub: u32, link: u32) -> Device
         for c in 0..cols {
             let t = traps[trap(r, c) as usize];
             if c > 0 {
-                b.connect((t, Side::Left), junctions[junction(r, c - 1) as usize], stub)
-                    .expect("grid stub");
+                b.connect(
+                    (t, Side::Left),
+                    junctions[junction(r, c - 1) as usize],
+                    stub,
+                )
+                .expect("grid stub");
             }
             if c < cols - 1 {
                 b.connect((t, Side::Right), junctions[junction(r, c) as usize], stub)

@@ -80,7 +80,10 @@ impl FidelityModel {
     /// Panics if `chain_len < 2` (eq. 1 applies to two-qubit gates, which
     /// need at least two ions).
     pub fn beam_instability(&self, chain_len: u32) -> f64 {
-        assert!(chain_len >= 2, "beam instability defined for chains of 2+ ions");
+        assert!(
+            chain_len >= 2,
+            "beam instability defined for chains of 2+ ions"
+        );
         let n = f64::from(chain_len);
         self.a0 * n / n.ln()
     }

@@ -47,7 +47,10 @@ impl GateImpl {
     /// `chain_len < 2`.
     pub fn two_qubit_time(&self, distance: u32, chain_len: u32) -> f64 {
         assert!(distance >= 1, "ion separation must be at least 1");
-        assert!(chain_len >= 2, "a two-qubit gate needs a chain of at least 2 ions");
+        assert!(
+            chain_len >= 2,
+            "a two-qubit gate needs a chain of at least 2 ions"
+        );
         debug_assert!(
             distance < chain_len,
             "separation {distance} impossible in chain of {chain_len}"

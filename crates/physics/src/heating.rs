@@ -76,7 +76,10 @@ impl HeatingModel {
 
     /// Split/merge heating for a reconfiguration involving `n` ions.
     pub fn k1_for(&self, n: u32) -> f64 {
-        self.k1 * (f64::from(n) / self.chain_ref).max(1.0).powf(self.chain_exp)
+        self.k1
+            * (f64::from(n) / self.chain_ref)
+                .max(1.0)
+                .powf(self.chain_exp)
     }
 
     /// Splits a chain of `n_a + n_b` ions with energy `energy` into

@@ -33,6 +33,8 @@
 //! assert!(hot > cold);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod fidelity;
 pub mod gate_time;
 pub mod heating;

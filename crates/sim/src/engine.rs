@@ -58,11 +58,7 @@ pub fn simulate(
         total_time_us: engine.makespan,
         log_fidelity: engine.log_fidelity,
         counts: exe.counts(),
-        peak_motional_energy: engine
-            .trap_peak
-            .iter()
-            .copied()
-            .fold(0.0, f64::max),
+        peak_motional_energy: engine.trap_peak.iter().copied().fold(0.0, f64::max),
         trap_peak_energy: engine.trap_peak,
         trap_final_energy: engine.trap_energy,
         ms_executions: engine.ms_executions,
@@ -104,9 +100,10 @@ fn validate(exe: &Executable, device: &Device) -> Result<(), SimError> {
         }
         match inst {
             Inst::Split { trap, .. } | Inst::Merge { trap, .. }
-                if trap.index() >= device.trap_count() => {
-                    return Err(SimError::UnknownTrap(*trap));
-                }
+                if trap.index() >= device.trap_count() =>
+            {
+                return Err(SimError::UnknownTrap(*trap));
+            }
             Inst::Move { leg, .. } => {
                 for s in &leg.segments {
                     if s.index() >= device.segment_count() {
@@ -272,8 +269,7 @@ impl Engine<'_> {
                 let heating = &self.model.heating;
                 let (tau, new_energy) = if n > 2 {
                     // Split the pair off, rotate it, merge it back.
-                    let (pair, rest) =
-                        heating.split(self.trap_energy[trap.index()], 2, n - 2);
+                    let (pair, rest) = heating.split(self.trap_energy[trap.index()], 2, n - 2);
                     let pair = pair + heating.k1; // rotation agitation
                     (
                         self.model.shuttle.ion_swap_time(),
@@ -335,20 +331,17 @@ impl Engine<'_> {
                         JunctionKind::X => x += 1,
                     }
                 }
-                let tau = self
-                    .model
-                    .shuttle
-                    .move_time(leg.length_units, y, x);
+                let tau = self.model.shuttle.move_time(leg.length_units, y, x);
                 let resource_ready = self.path_ready(leg);
                 let ready = self.ion_ready[ion.index()];
                 let start = ready.max(resource_ready);
                 self.shuttle_wait += (resource_ready - ready).max(0.0);
                 let end = start + tau;
                 self.set_path_ready(leg, end);
-                self.flight_energy[ion.index()] +=
-                    self.model
-                        .heating
-                        .move_energy(leg.length_units, leg.junctions.len() as u32);
+                self.flight_energy[ion.index()] += self
+                    .model
+                    .heating
+                    .move_energy(leg.length_units, leg.junctions.len() as u32);
                 self.ion_ready[ion.index()] = end;
                 self.comm_spans.add(start, end);
                 self.shuttle_busy += end - start;
@@ -459,7 +452,11 @@ mod tests {
             &PhysicalModel::default(),
             &CompilerConfig::default(),
         );
-        assert!((r.total_time_us - 325.0).abs() < 1e-9, "got {}", r.total_time_us);
+        assert!(
+            (r.total_time_us - 325.0).abs() < 1e-9,
+            "got {}",
+            r.total_time_us
+        );
         assert!(r.fidelity() > 0.99);
         assert_eq!(r.peak_motional_energy, 0.0);
     }
@@ -511,8 +508,18 @@ mod tests {
         c.cx(Qubit(39), Qubit(0));
         let d = presets::l6(12);
         let m = PhysicalModel::default();
-        let gs = run(&c, &d, &m, &CompilerConfig::with_reorder(ReorderMethod::GateSwap));
-        let is = run(&c, &d, &m, &CompilerConfig::with_reorder(ReorderMethod::IonSwap));
+        let gs = run(
+            &c,
+            &d,
+            &m,
+            &CompilerConfig::with_reorder(ReorderMethod::GateSwap),
+        );
+        let is = run(
+            &c,
+            &d,
+            &m,
+            &CompilerConfig::with_reorder(ReorderMethod::IonSwap),
+        );
         assert!(
             is.peak_motional_energy > gs.peak_motional_energy,
             "IS {} vs GS {}",
@@ -596,7 +603,14 @@ mod tests {
         let exe = Executable::new(
             "bad".into(),
             3,
-            vec![vec![IonId(0), IonId(1), IonId(2)], vec![], vec![], vec![], vec![], vec![]],
+            vec![
+                vec![IonId(0), IonId(1), IonId(2)],
+                vec![],
+                vec![],
+                vec![],
+                vec![],
+                vec![],
+            ],
             vec![Inst::Split {
                 ion: IonId(1),
                 trap: TrapId(0),
@@ -614,7 +628,14 @@ mod tests {
         let exe = Executable::new(
             "bad".into(),
             2,
-            vec![vec![IonId(0)], vec![IonId(1)], vec![], vec![], vec![], vec![]],
+            vec![
+                vec![IonId(0)],
+                vec![IonId(1)],
+                vec![],
+                vec![],
+                vec![],
+                vec![],
+            ],
             vec![Inst::Ms {
                 a: IonId(0),
                 b: IonId(1),

@@ -51,6 +51,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod engine;
 pub mod error;
 pub mod report;

@@ -119,7 +119,11 @@ impl fmt::Display for SimReport {
             self.time.compute_us * 1e-6,
             self.time.communication_us * 1e-6
         )?;
-        writeln!(f, "  peak motional energy: {:.3} quanta", self.peak_motional_energy)?;
+        writeln!(
+            f,
+            "  peak motional energy: {:.3} quanta",
+            self.peak_motional_energy
+        )?;
         write!(
             f,
             "  ops: {} 1q, {} ms, {} swaps, {} ionswaps, {} splits, {} moves, {} merges",

@@ -36,12 +36,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // The executable depends on the reorder method, not the gate
         // implementation: compile once per method, simulate per gate.
         let config = CompilerConfig::with_reorder(reorder);
-        let exe = Toolflow::with_config(
-            presets::l6(capacity),
-            PhysicalModel::default(),
-            config,
-        )
-        .compile(&circuit)?;
+        let exe = Toolflow::with_config(presets::l6(capacity), PhysicalModel::default(), config)
+            .compile(&circuit)?;
         for gate in GateImpl::ALL {
             let tf = Toolflow::with_config(
                 presets::l6(capacity),

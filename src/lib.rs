@@ -5,6 +5,8 @@
 //! consumers should normally depend on the individual crates (`qccd`,
 //! `qccd-circuit`, …) directly.
 
+#![warn(missing_docs)]
+
 pub use qccd;
 pub use qccd_circuit as circuit;
 pub use qccd_compiler as compiler;

@@ -1,0 +1,100 @@
+//! Smoke coverage for the workspace's build surface: the examples and
+//! harness binaries must keep compiling, so doc snippets and README
+//! instructions can't silently rot.
+//!
+//! The actual compilation happens via a nested `cargo build`; under
+//! `cargo test` this is incremental (the outer invocation already
+//! built most targets) and runs offline against the path-only
+//! dependency graph.
+
+use std::process::Command;
+
+/// The examples the README's quickstart and study sections reference.
+const EXAMPLES: [&str; 6] = [
+    "custom_device",
+    "microarch_study",
+    "qasm_roundtrip",
+    "quickstart",
+    "topology_comparison",
+    "trap_sizing",
+];
+
+/// The artifact-regeneration binaries in `qccd-bench`.
+const BENCH_BINS: [&str; 8] = [
+    "ablations",
+    "all",
+    "fig6",
+    "fig7",
+    "fig8",
+    "inspect",
+    "table1",
+    "table2",
+];
+
+fn cargo() -> Command {
+    // Use the same cargo that is running this test.
+    let cargo = std::env::var("CARGO").unwrap_or_else(|_| "cargo".to_string());
+    let mut cmd = Command::new(cargo);
+    cmd.current_dir(env!("CARGO_MANIFEST_DIR"));
+    cmd
+}
+
+#[test]
+fn all_examples_and_bench_binaries_compile() {
+    let mut cmd = cargo();
+    cmd.args([
+        "build",
+        "--workspace",
+        "--examples",
+        "--bins",
+        "--offline",
+        "--quiet",
+    ]);
+    let status = cmd.status().expect("cargo is runnable");
+    assert!(
+        status.success(),
+        "`cargo build --workspace --examples --bins` failed; \
+         an example or harness binary no longer compiles"
+    );
+}
+
+#[test]
+fn target_inventory_is_complete() {
+    // `cargo metadata` enumerates every auto-discovered target without
+    // compiling; this catches renamed/removed files that would silently
+    // shrink the build surface the docs promise.
+    let out = cargo()
+        .args([
+            "metadata",
+            "--no-deps",
+            "--format-version",
+            "1",
+            "--offline",
+        ])
+        .output()
+        .expect("cargo metadata runs");
+    assert!(out.status.success(), "cargo metadata failed");
+    let metadata = String::from_utf8(out.stdout).expect("metadata is UTF-8");
+
+    for example in EXAMPLES {
+        let needle = format!("examples/{example}.rs");
+        assert!(
+            metadata.contains(&needle),
+            "example target `{example}` missing from cargo metadata"
+        );
+    }
+    for bin in BENCH_BINS {
+        let needle = format!("bin/{bin}.rs");
+        assert!(
+            metadata.contains(&needle),
+            "qccd-bench binary `{bin}` missing from cargo metadata"
+        );
+    }
+    for bench in ["toolflow", "compiler", "figures"] {
+        let needle = format!("benches/{bench}.rs");
+        assert!(
+            metadata.contains(&needle),
+            "criterion bench `{bench}` missing from cargo metadata"
+        );
+    }
+}

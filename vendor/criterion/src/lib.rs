@@ -1,0 +1,251 @@
+//! Minimal, dependency-free stand-in for the `criterion` benchmark
+//! harness.
+//!
+//! The workspace builds offline, so this vendored crate supplies the
+//! API its three bench targets use — [`Criterion`],
+//! [`Criterion::benchmark_group`], [`Bencher::iter`], [`BenchmarkId`]
+//! and the [`criterion_group!`]/[`criterion_main!`] macros — with a
+//! simple wall-clock measurement loop instead of the real crate's
+//! statistical machinery. Each benchmark warms up once, then runs up
+//! to `sample_size` timed iterations bounded by a ~300 ms budget, and
+//! prints mean time per iteration.
+//!
+//! When a bench binary is invoked with `--test` (CI does this via
+//! `cargo bench -p qccd-bench -- --test`; plain `cargo test` never
+//! executes `harness = false` bench targets), every benchmark runs
+//! exactly one iteration, so benches double as cheap smoke tests.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Per-benchmark time budget in normal (non `--test`) mode.
+const BUDGET: Duration = Duration::from_millis(300);
+
+/// Entry point handed to benchmark functions; collects and runs them.
+pub struct Criterion {
+    test_mode: bool,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion {
+            test_mode,
+            default_sample_size: 100,
+        }
+    }
+}
+
+impl Criterion {
+    /// Registers and immediately runs a standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.test_mode, self.default_sample_size, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: self.default_sample_size,
+            criterion: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Registers and immediately runs a benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = format!("{}/{}", self.name, id.into_id());
+        run_one(&name, self.criterion.test_mode, self.sample_size, &mut f);
+        self
+    }
+
+    /// Registers and runs a benchmark parameterized by an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.into_id());
+        let mut g = |b: &mut Bencher| f(b, input);
+        run_one(&name, self.criterion.test_mode, self.sample_size, &mut g);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; a no-op here).
+    pub fn finish(self) {}
+}
+
+/// A function + parameter label identifying one benchmark.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id like `function_name/parameter`.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+}
+
+/// Anything acceptable as a benchmark identifier.
+pub trait IntoBenchmarkId {
+    /// Renders the identifier label.
+    fn into_id(self) -> String;
+}
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handle passed to each benchmark closure.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+    max_iters: u64,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly, timing each call, until the sample
+    /// count or time budget is reached (always at least once).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        loop {
+            let start = Instant::now();
+            let out = routine();
+            self.elapsed += start.elapsed();
+            drop(black_box(out));
+            self.iters_done += 1;
+            if self.iters_done >= self.max_iters || self.elapsed >= self.budget {
+                break;
+            }
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, test_mode: bool, sample_size: usize, f: &mut F) {
+    let mut b = Bencher {
+        iters_done: 0,
+        elapsed: Duration::ZERO,
+        max_iters: if test_mode {
+            1
+        } else {
+            sample_size.max(1) as u64
+        },
+        budget: if test_mode { Duration::ZERO } else { BUDGET },
+    };
+    f(&mut b);
+    if b.iters_done == 0 {
+        println!("{name:<40} (no iterations)");
+        return;
+    }
+    let per_iter = b.elapsed / b.iters_done as u32;
+    println!(
+        "{name:<40} {per_iter:>12.2?}/iter  ({} iters)",
+        b.iters_done
+    );
+}
+
+/// Opaque value sink preventing the optimizer from deleting benchmark
+/// bodies; re-exported name-compatible with the real crate.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a benchmark group function, name-compatible with criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, name-compatible with criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_at_least_once_and_respects_sample_size() {
+        let mut b = Bencher {
+            iters_done: 0,
+            elapsed: Duration::ZERO,
+            max_iters: 5,
+            budget: Duration::from_secs(60),
+        };
+        let mut calls = 0u64;
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 5);
+        assert_eq!(b.iters_done, 5);
+    }
+
+    #[test]
+    fn group_api_composes() {
+        let mut c = Criterion {
+            test_mode: true,
+            default_sample_size: 100,
+        };
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(10);
+            g.bench_function("a", |b| b.iter(|| ran += 1));
+            g.bench_with_input(BenchmarkId::new("b", 3), &3, |b, &x| {
+                b.iter(|| black_box(x));
+            });
+            g.finish();
+        }
+        assert_eq!(ran, 1, "test mode runs exactly one iteration");
+    }
+}

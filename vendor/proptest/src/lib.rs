@@ -1,0 +1,219 @@
+//! Minimal, dependency-free stand-in for the `proptest` crate.
+//!
+//! The workspace builds offline, so this vendored harness supplies the
+//! slice of proptest the integration tests use: the [`proptest!`]
+//! macro over `name in strategy` arguments, range and boolean
+//! strategies, [`ProptestConfig::with_cases`], and the
+//! `prop_assert*` macros.
+//!
+//! Unlike the real crate there is no shrinking and no failure
+//! persistence: cases are drawn from a fixed-seed ChaCha8 stream (so
+//! every run tests the same inputs), and a failing property panics
+//! with the case number and sampled arguments in the message.
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+
+pub use rand_chacha::ChaCha8Rng;
+
+/// Per-property configuration; only the case count is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` random cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A source of random values of one type, samplable per test case.
+pub trait Strategy {
+    /// The type of values this strategy produces.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value.
+    fn sample_value<R: rand::RngCore>(&self, rng: &mut R) -> Self::Value;
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample_value<R: rand::RngCore>(&self, rng: &mut R) -> $t {
+                use rand::Rng as _;
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64, f32);
+
+/// Boolean strategies, mirroring `proptest::bool`.
+pub mod bool {
+    /// Strategy producing uniformly random booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The uniform boolean strategy (`proptest::bool::ANY`).
+    pub const ANY: Any = Any;
+
+    impl super::Strategy for Any {
+        type Value = bool;
+        fn sample_value<R: rand::RngCore>(&self, rng: &mut R) -> bool {
+            use rand::Rng as _;
+            rng.gen()
+        }
+    }
+}
+
+/// Builds the deterministic RNG for one (property, case) pair.
+pub fn rng_for_case(property: &str, case: u32) -> ChaCha8Rng {
+    use rand::SeedableRng as _;
+    // FNV-1a over the property name keeps streams distinct per test.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in property.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    ChaCha8Rng::seed_from_u64(h ^ ((case as u64) << 32))
+}
+
+/// Declares property tests: each `fn name(arg in strategy, …) { body }`
+/// becomes a `#[test]` that runs the body over sampled cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    let mut rng = $crate::rng_for_case(stringify!($name), case);
+                    $(
+                        let $arg = $crate::Strategy::sample_value(&($strat), &mut rng);
+                    )*
+                    let result = ::std::panic::catch_unwind(::std::panic::AssertUnwindSafe(|| $body));
+                    if let Err(panic) = result {
+                        let message = panic
+                            .downcast_ref::<String>()
+                            .map(|s| s.as_str())
+                            .or_else(|| panic.downcast_ref::<&str>().copied())
+                            .unwrap_or("<non-string panic>");
+                        panic!(
+                            "property {} failed at case {}/{} with arguments {}\n{}",
+                            stringify!($name),
+                            case,
+                            config.cases,
+                            format!(concat!("{{ " $(, stringify!($arg), ": {:?}, ")* , "}}") $(, $arg)*),
+                            message,
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name( $($arg in $strat),* ) $body
+            )*
+        }
+    };
+}
+
+/// Asserts a condition inside a property, like `assert!`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a property, like `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a property, like `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// The names most property tests want in scope.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(
+            n in 2u32..24,
+            x in 0.0f64..0.8,
+            flag in crate::bool::ANY,
+        ) {
+            prop_assert!((2..24).contains(&n));
+            prop_assert!((0.0..0.8).contains(&x));
+            let _ = flag;
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_form_compiles(k in 0usize..5) {
+            prop_assert!(k < 5);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use rand::RngCore as _;
+        let a = crate::rng_for_case("p", 3).next_u32();
+        let b = crate::rng_for_case("p", 3).next_u32();
+        let c = crate::rng_for_case("p", 4).next_u32();
+        let d = crate::rng_for_case("q", 3).next_u32();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failures_report_case_and_arguments() {
+        proptest! {
+            fn always_fails(n in 0u32..10) {
+                prop_assert!(n > 100, "n too small");
+            }
+        }
+        always_fails();
+    }
+}

@@ -1,0 +1,221 @@
+//! Minimal, dependency-free stand-in for the `rand` crate (0.8 API).
+//!
+//! Provides the slice of the API the QCCD workspace uses — the
+//! [`RngCore`]/[`SeedableRng`]/[`Rng`] traits with `gen`, `gen_range`
+//! and `gen_bool` — backed by whatever generator implements
+//! [`RngCore`] (the workspace always uses the vendored
+//! `rand_chacha::ChaCha8Rng`).
+//!
+//! Distributions are uniform. Integer sampling uses multiply-shift
+//! reduction; `f64` sampling uses the standard 53-bit mantissa
+//! construction. Streams are deterministic per seed but do **not**
+//! match upstream `rand`'s byte-for-byte — the workspace only relies
+//! on per-seed determinism.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Low-level uniform word source. Implemented by concrete generators.
+pub trait RngCore {
+    /// Returns the next 32 uniform random bits.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next 64 uniform random bits.
+    fn next_u64(&mut self) -> u64 {
+        ((self.next_u32() as u64) << 32) | self.next_u32() as u64
+    }
+}
+
+/// Generators constructible from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a 64-bit seed (expanded internally).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods, available on every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples a uniform value of a [`Random`] type (e.g. `bool`).
+    fn gen<T: Random>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::random(self)
+    }
+
+    /// Samples uniformly from a range, e.g. `rng.gen_range(0..n)` or
+    /// `rng.gen_range(0.0..tau)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p must be in [0, 1]");
+        // Compare 53 uniform bits against p scaled to 2^53; p == 1.0
+        // always passes because the sample is at most 2^53 - 1.
+        ((self.next_u64() >> 11) as f64) < p * (1u64 << 53) as f64
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Types samplable by [`Rng::gen`].
+pub trait Random {
+    /// Draws a uniform value from `rng`.
+    fn random<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl Random for bool {
+    fn random<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32() >> 31 == 1
+    }
+}
+impl Random for u32 {
+    fn random<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+impl Random for u64 {
+    fn random<R: RngCore>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+impl Random for f64 {
+    fn random<R: RngCore>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+/// Range types accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws a uniform sample from the range.
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+fn unit_f64(bits: u64) -> f64 {
+    // 53 uniform bits in [0, 1).
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+fn uniform_below<R: RngCore>(rng: &mut R, span: u64) -> u64 {
+    // Multiply-shift reduction (Lemire); bias is < 2^-64 * span, far
+    // below anything the workspace's statistical uses can observe.
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! sample_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start + uniform_below(rng, span) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "gen_range: empty range");
+                let span = (end as u64).wrapping_sub(start as u64).wrapping_add(1);
+                if span == 0 {
+                    // Full-width inclusive range of a 64-bit type.
+                    return rng.next_u64() as $t;
+                }
+                start + uniform_below(rng, span) as $t
+            }
+        }
+    )*};
+}
+sample_int_range!(u8, u16, u32, u64, usize);
+
+macro_rules! sample_signed_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                self.start.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+    )*};
+}
+sample_signed_range!(i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + unit_f64(rng.next_u64()) * (self.end - self.start)
+    }
+}
+impl SampleRange<f32> for Range<f32> {
+    fn sample_from<R: RngCore>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "gen_range: empty range");
+        self.start + (unit_f64(rng.next_u64()) as f32) * (self.end - self.start)
+    }
+}
+
+/// The traits most code wants in scope, mirroring `rand::prelude`.
+pub mod prelude {
+    pub use crate::{Random, Rng, RngCore, SampleRange, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Lcg(u64);
+    impl RngCore for Lcg {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = Lcg(42);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3u32..17);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(0.5f64..2.5);
+            assert!((0.5..2.5).contains(&y));
+            let z = rng.gen_range(0usize..5);
+            assert!(z < 5);
+        }
+    }
+
+    #[test]
+    fn gen_bool_handles_degenerate_probabilities() {
+        let mut rng = Lcg(7);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = Lcg(1);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2500..3500).contains(&hits), "hits = {hits}");
+    }
+}

@@ -1,0 +1,161 @@
+//! Vendored ChaCha8-based RNG (offline stand-in for `rand_chacha`).
+//!
+//! Implements the actual ChaCha stream cipher core (Bernstein, 2008)
+//! with 8 rounds, so the workspace's seeded circuit generators get a
+//! well-mixed, reproducible stream. The seed expansion follows
+//! SplitMix64 as in `rand`'s `seed_from_u64`, but output streams are
+//! not guaranteed byte-compatible with upstream `rand_chacha` — the
+//! workspace only relies on per-seed determinism.
+
+#![warn(missing_docs)]
+
+use rand::{RngCore, SeedableRng};
+
+/// A cryptographically-strong-enough deterministic RNG: ChaCha with 8
+/// rounds, 256-bit key, 64-bit counter.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// 16-word ChaCha input state (constants, key, counter, nonce).
+    state: [u32; 16],
+    /// Buffered output block.
+    buf: [u32; 16],
+    /// Next unread word in `buf`; 16 means the buffer is exhausted.
+    idx: usize,
+}
+
+impl ChaCha8Rng {
+    const ROUNDS: usize = 8;
+
+    /// Builds a generator from a 256-bit key.
+    pub fn from_seed(key: [u8; 32]) -> Self {
+        let mut state = [0u32; 16];
+        // "expand 32-byte k"
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        for i in 0..8 {
+            state[4 + i] = u32::from_le_bytes(key[4 * i..4 * i + 4].try_into().unwrap());
+        }
+        // Words 12..13 are the block counter, 14..15 the nonce (zero).
+        ChaCha8Rng {
+            state,
+            buf: [0; 16],
+            idx: 16,
+        }
+    }
+
+    fn refill(&mut self) {
+        let mut x = self.state;
+        for _ in 0..Self::ROUNDS / 2 {
+            // Column round.
+            quarter(&mut x, 0, 4, 8, 12);
+            quarter(&mut x, 1, 5, 9, 13);
+            quarter(&mut x, 2, 6, 10, 14);
+            quarter(&mut x, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter(&mut x, 0, 5, 10, 15);
+            quarter(&mut x, 1, 6, 11, 12);
+            quarter(&mut x, 2, 7, 8, 13);
+            quarter(&mut x, 3, 4, 9, 14);
+        }
+        for (i, word) in x.iter().enumerate() {
+            self.buf[i] = word.wrapping_add(self.state[i]);
+        }
+        // Increment the 64-bit block counter.
+        self.state[12] = self.state[12].wrapping_add(1);
+        if self.state[12] == 0 {
+            self.state[13] = self.state[13].wrapping_add(1);
+        }
+        self.idx = 0;
+    }
+}
+
+#[inline]
+fn quarter(x: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    x[a] = x[a].wrapping_add(x[b]);
+    x[d] = (x[d] ^ x[a]).rotate_left(16);
+    x[c] = x[c].wrapping_add(x[d]);
+    x[b] = (x[b] ^ x[c]).rotate_left(12);
+    x[a] = x[a].wrapping_add(x[b]);
+    x[d] = (x[d] ^ x[a]).rotate_left(8);
+    x[c] = x[c].wrapping_add(x[d]);
+    x[b] = (x[b] ^ x[c]).rotate_left(7);
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.idx >= 16 {
+            self.refill();
+        }
+        let w = self.buf[self.idx];
+        self.idx += 1;
+        w
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        // SplitMix64 expansion, as rand does for seed_from_u64.
+        let mut key = [0u8; 32];
+        let mut s = seed;
+        for chunk in key.chunks_exact_mut(8) {
+            s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^= z >> 31;
+            chunk.copy_from_slice(&z.to_le_bytes());
+        }
+        ChaCha8Rng::from_seed(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u32> = {
+            let mut r = ChaCha8Rng::seed_from_u64(9);
+            (0..64).map(|_| r.next_u32()).collect()
+        };
+        let b: Vec<u32> = {
+            let mut r = ChaCha8Rng::seed_from_u64(9);
+            (0..64).map(|_| r.next_u32()).collect()
+        };
+        let c: Vec<u32> = {
+            let mut r = ChaCha8Rng::seed_from_u64(10);
+            (0..64).map(|_| r.next_u32()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn zero_round_chacha_constant_check() {
+        // The raw state must start with the ChaCha constants.
+        let r = ChaCha8Rng::from_seed([0; 32]);
+        assert_eq!(r.state[0], 0x61707865);
+    }
+
+    #[test]
+    fn stream_is_roughly_balanced() {
+        let mut r = ChaCha8Rng::seed_from_u64(1234);
+        let ones: u32 = (0..1000).map(|_| r.next_u32().count_ones()).sum();
+        // 32,000 bits, expect ~16,000 ones.
+        assert!((15_000..17_000).contains(&ones), "ones = {ones}");
+    }
+
+    #[test]
+    fn works_with_rng_trait_sampling() {
+        let mut r = ChaCha8Rng::seed_from_u64(5);
+        let mut counts = [0usize; 6];
+        for _ in 0..6000 {
+            counts[r.gen_range(0usize..6)] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 800), "counts = {counts:?}");
+    }
+}

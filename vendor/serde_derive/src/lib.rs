@@ -1,0 +1,304 @@
+//! Minimal, dependency-free stand-ins for serde's derive macros.
+//!
+//! This workspace builds in an offline container, so the real
+//! `serde_derive` (and its `syn`/`quote` dependency tree) is not
+//! available. These macros cover exactly the shapes the workspace
+//! derives on: non-generic structs (unit, tuple, named) and enums
+//! (unit, tuple and struct variants, no discriminants with data).
+//!
+//! `#[derive(Serialize)]` emits an implementation of the vendored
+//! `serde::Serialize` trait (which renders to `serde::Value`);
+//! `#[derive(Deserialize)]` emits an empty marker implementation —
+//! nothing in the workspace deserializes at run time.
+
+#![warn(missing_docs)]
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives the vendored `serde::Serialize` trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::UnitStruct => "serde::Value::Null".to_string(),
+        Shape::TupleStruct(n) => tuple_struct_body(*n),
+        Shape::NamedStruct(fields) => object_expr(fields, "self.", "&"),
+        Shape::Enum(variants) => enum_body(&item.name, variants),
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{ {body} }}\n\
+         }}",
+        name = item.name,
+        body = body
+    )
+    .parse()
+    .expect("serde_derive: generated impl parses")
+}
+
+/// Derives the vendored `serde::Deserialize` marker trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    format!("impl serde::Deserialize for {} {{}}", item.name)
+        .parse()
+        .expect("serde_derive: generated impl parses")
+}
+
+fn tuple_struct_body(n: usize) -> String {
+    if n == 1 {
+        // Newtypes (ids, `Qubit(u32)`, …) serialize transparently.
+        "serde::Serialize::to_value(&self.0)".to_string()
+    } else {
+        let items: Vec<String> = (0..n)
+            .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+            .collect();
+        format!("serde::Value::Array(vec![{}])", items.join(", "))
+    }
+}
+
+fn object_expr(fields: &[String], prefix: &str, borrow: &str) -> String {
+    let items: Vec<String> = fields
+        .iter()
+        .map(|f| format!("(\"{f}\".to_string(), serde::Serialize::to_value({borrow}{prefix}{f}))",))
+        .collect();
+    format!("serde::Value::Object(vec![{}])", items.join(", "))
+}
+
+fn enum_body(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let arm = match &v.shape {
+            VariantShape::Unit => format!(
+                "{name}::{v} => serde::Value::Str(\"{v}\".to_string()),",
+                v = v.name
+            ),
+            VariantShape::Tuple(n) => {
+                let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                let inner = if *n == 1 {
+                    "serde::Serialize::to_value(f0)".to_string()
+                } else {
+                    let items: Vec<String> = binders
+                        .iter()
+                        .map(|b| format!("serde::Serialize::to_value({b})"))
+                        .collect();
+                    format!("serde::Value::Array(vec![{}])", items.join(", "))
+                };
+                format!(
+                    "{name}::{v}({binders}) => serde::Value::Object(vec![(\"{v}\".to_string(), {inner})]),",
+                    v = v.name,
+                    binders = binders.join(", ")
+                )
+            }
+            VariantShape::Named(fields) => {
+                let inner = object_expr(fields, "", "");
+                format!(
+                    "{name}::{v} {{ {fields} }} => serde::Value::Object(vec![(\"{v}\".to_string(), {inner})]),",
+                    v = v.name,
+                    fields = fields.join(", ")
+                )
+            }
+        };
+        arms.push_str(&arm);
+        arms.push('\n');
+    }
+    format!("match self {{\n{arms}}}")
+}
+
+// ---------------------------------------------------------------------------
+// A tiny hand-rolled parser over `proc_macro::TokenStream` — enough for the
+// item shapes this workspace derives on. Fails loudly on anything fancier
+// (generics, discriminants with payloads) rather than miscompiling.
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    UnitStruct,
+    TupleStruct(usize),
+    NamedStruct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive: generic item `{name}` is not supported by the vendored stub");
+    }
+
+    let shape = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            None => Shape::UnitStruct,
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_top_level_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(named_field_names(g.stream()))
+            }
+            other => panic!("serde_derive: unexpected struct body {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde_derive: unexpected enum body {other:?}"),
+        },
+        other => panic!("serde_derive: unsupported item kind `{other}`"),
+    };
+    Item { name, shape }
+}
+
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 2; // `#` + the bracketed attribute group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1; // `pub(crate)` etc.
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+/// Counts comma-separated fields at angle-bracket depth 0, ignoring a
+/// trailing comma (rustfmt adds one to multi-line field lists).
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut fields = 0usize;
+    let mut pending = false; // tokens seen since the last top-level comma
+    let mut prev_dash = false;
+    for tok in stream {
+        match &tok {
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                if c == '<' {
+                    depth += 1;
+                } else if c == '>' && !prev_dash {
+                    depth -= 1;
+                } else if c == ',' && depth == 0 {
+                    fields += 1;
+                    pending = false;
+                    prev_dash = false;
+                    continue;
+                }
+                prev_dash = c == '-';
+            }
+            _ => prev_dash = false,
+        }
+        pending = true;
+    }
+    if pending {
+        fields + 1
+    } else {
+        fields
+    }
+}
+
+/// Extracts the field names of a named-field body (struct or enum variant).
+fn named_field_names(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut names = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            panic!("serde_derive: expected field name, got {:?}", tokens.get(i));
+        };
+        names.push(id.to_string());
+        i += 1;
+        // Skip `: Type` up to the next top-level comma.
+        let mut depth = 0i32;
+        let mut prev_dash = false;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) => {
+                    let c = p.as_char();
+                    if c == '<' {
+                        depth += 1;
+                    } else if c == '>' && !prev_dash {
+                        depth -= 1;
+                    } else if c == ',' && depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                    prev_dash = c == '-';
+                }
+                _ => prev_dash = false,
+            }
+            i += 1;
+        }
+    }
+    names
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            panic!(
+                "serde_derive: expected variant name, got {:?}",
+                tokens.get(i)
+            );
+        };
+        let name = id.to_string();
+        i += 1;
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_top_level_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantShape::Named(named_field_names(g.stream()))
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) and the trailing comma.
+        while i < tokens.len() {
+            if matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    variants
+}

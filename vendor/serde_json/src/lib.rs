@@ -1,0 +1,234 @@
+//! Minimal, dependency-free stand-in for `serde_json` (emit only).
+//!
+//! Supports exactly what the QCCD workspace uses: [`to_string`],
+//! [`to_string_pretty`] and the [`json!`] object-literal macro, all
+//! driven by the vendored `serde::Serialize` trait's [`Value`] tree.
+//! There is no parser — nothing in the workspace reads JSON back.
+
+#![warn(missing_docs)]
+
+pub use serde::Value;
+
+/// Error type for serialization.
+///
+/// The stub's emitter is infallible, so this is never constructed; it
+/// exists to keep `Result`-shaped signatures compatible with the real
+/// crate.
+#[derive(Debug)]
+pub struct Error(());
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("serde_json stub error")
+    }
+}
+impl std::error::Error for Error {}
+
+/// Renders any serializable value into its [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+/// Serializes `value` as a compact JSON string.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as a human-readable, 2-space-indented JSON string.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Builds a [`Value`] from a JSON-ish object literal, e.g.
+/// `json!({"fig6": fig6, "fig7": fig7})`. Values may be any
+/// `serde::Serialize` expression.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ({ $($key:literal : $val:expr),* $(,)? }) => {
+        $crate::Value::Object(vec![
+            $( ($key.to_string(), $crate::to_value(&$val)) ),*
+        ])
+    };
+    ([ $($val:expr),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::to_value(&$val) ),* ])
+    };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => write_float(out, *f),
+        Value::Str(s) => write_string(out, s),
+        Value::Array(items) => write_seq(
+            out,
+            items.iter(),
+            items.len(),
+            '[',
+            ']',
+            indent,
+            depth,
+            |out, item, ind, d| {
+                write_value(out, item, ind, d);
+            },
+        ),
+        Value::Object(entries) => write_seq(
+            out,
+            entries.iter(),
+            entries.len(),
+            '{',
+            '}',
+            indent,
+            depth,
+            |out, (k, val), ind, d| {
+                write_string(out, k);
+                out.push(':');
+                if ind.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, val, ind, d);
+            },
+        ),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_seq<T>(
+    out: &mut String,
+    items: impl Iterator<Item = T>,
+    len: usize,
+    open: char,
+    close: char,
+    indent: Option<usize>,
+    depth: usize,
+    mut write_item: impl FnMut(&mut String, T, Option<usize>, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        newline(out, indent, depth + 1);
+        write_item(out, item, indent, depth + 1);
+    }
+    newline(out, indent, depth);
+    out.push(close);
+}
+
+fn newline(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(step) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', step * depth));
+    }
+}
+
+fn write_float(out: &mut String, f: f64) {
+    if f.is_finite() {
+        let s = f.to_string();
+        out.push_str(&s);
+        // JSON has no integer/float distinction, but mirror serde_json's
+        // "always include a decimal point" behavior for round numbers.
+        if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+            out.push_str(".0");
+        }
+    } else {
+        // Like serde_json's default, non-finite floats become null.
+        out.push_str("null");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pretty_prints_nested_objects() {
+        let v = json!({"name": "l6", "caps": vec![14u32, 20, 26], "ok": true});
+        let text = to_string_pretty(&v).unwrap();
+        assert!(text.contains("\"name\": \"l6\""));
+        assert!(text.contains("\"caps\": [\n"));
+        assert_eq!(to_string(&json!(null)).unwrap(), "null");
+    }
+
+    #[test]
+    fn floats_keep_a_decimal_point() {
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string(&2.5f64).unwrap(), "2.5");
+    }
+
+    #[test]
+    fn strings_are_escaped() {
+        assert_eq!(to_string(&"a\"b\n").unwrap(), r#""a\"b\n""#);
+    }
+
+    // Regression coverage for the vendored derive macro, exercised
+    // here because this crate sits just above `serde` in the graph.
+    #[test]
+    fn derive_handles_trailing_commas_and_all_item_shapes() {
+        #[derive(serde::Serialize)]
+        struct TrailingTuple(
+            u32,
+            u64, // rustfmt adds trailing commas to wrapped lists
+        );
+        #[derive(serde::Serialize)]
+        struct Newtype(u32);
+        #[derive(serde::Serialize)]
+        struct Named {
+            a: u32,
+            b: Vec<(String, f64)>,
+        }
+        #[derive(serde::Serialize)]
+        enum Mixed {
+            Unit,
+            Tup(u8, u8),
+            Fields { x: i32 },
+        }
+
+        assert_eq!(to_string(&TrailingTuple(1, 2)).unwrap(), "[1,2]");
+        assert_eq!(to_string(&Newtype(7)).unwrap(), "7");
+        assert_eq!(
+            to_string(&Named {
+                a: 1,
+                b: vec![("k".into(), 0.5)],
+            })
+            .unwrap(),
+            r#"{"a":1,"b":[["k",0.5]]}"#
+        );
+        assert_eq!(to_string(&Mixed::Unit).unwrap(), r#""Unit""#);
+        assert_eq!(to_string(&Mixed::Tup(1, 2)).unwrap(), r#"{"Tup":[1,2]}"#);
+        assert_eq!(
+            to_string(&Mixed::Fields { x: -3 }).unwrap(),
+            r#"{"Fields":{"x":-3}}"#
+        );
+    }
+}
