@@ -7,6 +7,7 @@ use qccd_circuit::generators;
 
 fn main() {
     let args = qccd_bench::HarnessArgs::parse();
+    args.forbid("ablations", &["--quick", "--caps"]);
     let caps = args.capacities();
 
     let supremacy = generators::supremacy_paper();

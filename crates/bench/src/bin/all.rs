@@ -2,6 +2,7 @@
 
 fn main() {
     let args = qccd_bench::HarnessArgs::parse();
+    args.forbid("all", &["--quick", "--caps"]);
     let caps = args.capacities();
 
     let t1 = qccd::experiments::table1::generate_paper();

@@ -1,7 +1,31 @@
 //! Regenerates Figure 6 (trap sizing study: L6, FM gates, GS reordering).
+//!
+//! With `--device my_topology.json` the sweep runs on the custom
+//! topology instead of L6 (each swept capacity rescales every trap of
+//! the loaded device); `--config cfg.json` overrides the compiler
+//! configuration.
+
+use qccd::experiments::fig6;
+use qccd_circuit::generators;
 
 fn main() {
     let args = qccd_bench::HarnessArgs::parse();
-    let fig = qccd::experiments::fig6::generate(&args.capacities());
+    args.forbid("fig6", &["--quick", "--caps", "--device", "--config"]);
+    let caps = args.capacities();
+    let config = args.load_config_or_default();
+    let fig = match args.load_device() {
+        Some(template) => fig6::generate_on(
+            &generators::paper_suite(),
+            &caps,
+            |cap| template.with_uniform_capacity(cap),
+            config,
+        ),
+        None => fig6::generate_on(
+            &generators::paper_suite(),
+            &caps,
+            qccd_device::presets::l6,
+            config,
+        ),
+    };
     qccd_bench::emit(&fig, args.json.as_deref());
 }

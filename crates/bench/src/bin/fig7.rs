@@ -1,7 +1,19 @@
 //! Regenerates Figure 7 (topology study: L6 vs G2x3).
+//!
+//! The study's whole point is the fixed L6/G2x3 comparison, so it takes
+//! no `--device`; `--config cfg.json` overrides the compiler
+//! configuration for both topologies.
+
+use qccd::experiments::fig7;
+use qccd_circuit::generators;
 
 fn main() {
     let args = qccd_bench::HarnessArgs::parse();
-    let fig = qccd::experiments::fig7::generate(&args.capacities());
+    args.forbid("fig7", &["--quick", "--caps", "--config"]);
+    let fig = fig7::generate_on(
+        &generators::paper_suite(),
+        &args.capacities(),
+        args.load_config_or_default(),
+    );
     qccd_bench::emit(&fig, args.json.as_deref());
 }

@@ -1,0 +1,79 @@
+//! Runs the Table II benchmark suite end to end on a JSON-loaded
+//! device — the "custom devices from JSON" entry point of the toolflow.
+//!
+//! ```text
+//! cargo run --release -p qccd-bench --bin run -- \
+//!     --device examples/devices/l6_cap20.json \
+//!     [--config cfg.json] [--model model.json] [--json report.json]
+//! ```
+//!
+//! Prints one row per benchmark (time, fidelity, op counts); infeasible
+//! programs report their compile error instead of aborting the run.
+//! `--json` additionally dumps the full per-benchmark `SimReport`s.
+
+use qccd::Toolflow;
+use qccd_circuit::generators::Benchmark;
+
+fn main() {
+    let args = qccd_bench::HarnessArgs::parse();
+    args.forbid("run", &["--device", "--config", "--model"]);
+    let Some(device) = args.load_device() else {
+        eprintln!("error: `run` requires --device <file.json>");
+        eprintln!("       (see examples/devices/ and the README's \"Custom devices from JSON\")");
+        std::process::exit(2);
+    };
+    let config = args.load_config_or_default();
+    let model = args.load_model_or_default();
+
+    println!("device: {device}");
+    println!(
+        "config: {} reordering, {} buffer slots; gates: {}",
+        config.reorder, config.buffer_slots, model.gate_impl
+    );
+    println!(
+        "{:<14}{:>10}{:>12}{:>9}{:>9}{:>9}",
+        "app", "time_s", "fidelity", "ms", "swaps", "moves"
+    );
+
+    let tf = Toolflow::with_config(device, model, config);
+    let mut reports = Vec::new();
+    for b in Benchmark::ALL {
+        let circuit = b.build();
+        match tf.run(&circuit) {
+            Err(e) => {
+                println!("{:<14}  {e}", b.name());
+                reports.push((b.name().to_owned(), None));
+            }
+            Ok(r) => {
+                println!(
+                    "{:<14}{:>10.4}{:>12.4e}{:>9}{:>9}{:>9}",
+                    b.name(),
+                    r.total_time_s(),
+                    r.fidelity(),
+                    r.ms_executions,
+                    r.counts.swap_gates,
+                    r.counts.moves,
+                );
+                reports.push((b.name().to_owned(), Some(r)));
+            }
+        }
+    }
+
+    if let Some(path) = args.json.as_deref() {
+        let bundle = serde_json::json!({
+            "device": tf.device(),
+            "config": tf.config(),
+            "model": tf.model(),
+            "reports": reports,
+        });
+        std::fs::write(
+            path,
+            serde_json::to_string_pretty(&bundle).expect("reports serialize"),
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("error: could not write {}: {e}", path.display());
+            std::process::exit(1);
+        });
+        eprintln!("wrote {}", path.display());
+    }
+}

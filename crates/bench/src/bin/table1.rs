@@ -1,7 +1,11 @@
 //! Regenerates Table I (shuttling operation times).
+//!
+//! With `--model model.json` the table renders the loaded model's
+//! shuttle times instead of the published Table I values.
 
 fn main() {
     let args = qccd_bench::HarnessArgs::parse();
-    let table = qccd::experiments::table1::generate_paper();
+    args.forbid("table1", &["--model"]);
+    let table = qccd::experiments::table1::generate(&args.load_model_or_default().shuttle);
     qccd_bench::emit(&table, args.json.as_deref());
 }

@@ -2,6 +2,7 @@
 
 fn main() {
     let args = qccd_bench::HarnessArgs::parse();
+    args.forbid("table2", &[]);
     let table = qccd::experiments::table2::generate();
     qccd_bench::emit(&table, args.json.as_deref());
 }

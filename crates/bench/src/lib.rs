@@ -1,17 +1,30 @@
 //! Shared harness utilities for the table/figure regeneration binaries.
 //!
-//! Each binary (`table1`, `table2`, `fig6`, `fig7`, `fig8`, `all`) prints
-//! the paper artifact as CSV-like text and can additionally dump JSON:
+//! Each binary (`table1`, `table2`, `fig6`, `fig7`, `fig8`, `all`,
+//! `run`) prints the paper artifact as CSV-like text and can
+//! additionally dump JSON:
 //!
 //! ```text
 //! cargo run --release -p qccd-bench --bin fig6            # full sweep
 //! cargo run --release -p qccd-bench --bin fig6 -- --quick # 3 capacities
 //! cargo run --release -p qccd-bench --bin fig8 -- --caps 14,20,26 --json fig8.json
 //! ```
+//!
+//! Device descriptions, compiler configs and physical models can be
+//! loaded from JSON files instead of the built-in presets where a study
+//! supports it:
+//!
+//! ```text
+//! cargo run --release -p qccd-bench --bin run  -- --device examples/devices/l6_cap20.json
+//! cargo run --release -p qccd-bench --bin fig6 -- --device my_topology.json --quick
+//! ```
 
 #![warn(missing_docs)]
 
 use qccd::experiments::{PAPER_CAPACITIES, QUICK_CAPACITIES};
+use qccd_compiler::CompilerConfig;
+use qccd_device::Device;
+use qccd_physics::PhysicalModel;
 use serde::Serialize;
 use std::path::{Path, PathBuf};
 
@@ -24,6 +37,12 @@ pub struct HarnessArgs {
     pub caps: Option<Vec<u32>>,
     /// Where to additionally dump the artifact as JSON.
     pub json: Option<PathBuf>,
+    /// JSON device description replacing the study's preset topology.
+    pub device: Option<PathBuf>,
+    /// JSON compiler configuration replacing the study's default.
+    pub config: Option<PathBuf>,
+    /// JSON physical model replacing the study's default.
+    pub model: Option<PathBuf>,
 }
 
 impl HarnessArgs {
@@ -45,6 +64,22 @@ impl HarnessArgs {
                     let path = args.next().unwrap_or_else(|| usage("--json needs a path"));
                     out.json = Some(PathBuf::from(path));
                 }
+                "--device" => {
+                    let path = args
+                        .next()
+                        .unwrap_or_else(|| usage("--device needs a path"));
+                    out.device = Some(PathBuf::from(path));
+                }
+                "--config" => {
+                    let path = args
+                        .next()
+                        .unwrap_or_else(|| usage("--config needs a path"));
+                    out.config = Some(PathBuf::from(path));
+                }
+                "--model" => {
+                    let path = args.next().unwrap_or_else(|| usage("--model needs a path"));
+                    out.model = Some(PathBuf::from(path));
+                }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag `{other}`")),
             }
@@ -62,13 +97,76 @@ impl HarnessArgs {
             PAPER_CAPACITIES.to_vec()
         }
     }
+
+    /// Loads the `--device` file, or `None` when the flag was not given.
+    /// Aborts with a readable message on parse/validation failure.
+    pub fn load_device(&self) -> Option<Device> {
+        self.device.as_deref().map(|path| {
+            Device::from_json(&read(path)).unwrap_or_else(|e| die(path, &e.to_string()))
+        })
+    }
+
+    /// Loads the `--config` file, or the default compiler config.
+    pub fn load_config_or_default(&self) -> CompilerConfig {
+        self.config
+            .as_deref()
+            .map_or_else(CompilerConfig::default, |path| {
+                CompilerConfig::from_json(&read(path)).unwrap_or_else(|e| die(path, &e.to_string()))
+            })
+    }
+
+    /// Loads the `--model` file, or the paper's default physical model.
+    pub fn load_model_or_default(&self) -> PhysicalModel {
+        self.model
+            .as_deref()
+            .map_or_else(PhysicalModel::default, |path| {
+                PhysicalModel::from_json(&read(path)).unwrap_or_else(|e| die(path, &e.to_string()))
+            })
+    }
+
+    /// Aborts with a usage error if a flag this binary does not consume
+    /// was given, so nothing is ever silently ignored. `supported`
+    /// lists the flags the binary acts on (`--json` is always
+    /// supported).
+    pub fn forbid(&self, bin: &str, supported: &[&str]) {
+        for (flag, given) in [
+            ("--quick", self.quick),
+            ("--caps", self.caps.is_some()),
+            ("--device", self.device.is_some()),
+            ("--config", self.config.is_some()),
+            ("--model", self.model.is_some()),
+        ] {
+            if given && !supported.contains(&flag) {
+                let hint = if supported.is_empty() {
+                    "only --json".to_owned()
+                } else {
+                    format!("--json, {}", supported.join(", "))
+                };
+                usage(&format!(
+                    "`{bin}` does not support {flag} (supported here: {hint})"
+                ));
+            }
+        }
+    }
+}
+
+fn read(path: &Path) -> String {
+    std::fs::read_to_string(path).unwrap_or_else(|e| die(path, &e.to_string()))
+}
+
+fn die(path: &Path, message: &str) -> ! {
+    eprintln!("error: {}: {message}", path.display());
+    std::process::exit(2);
 }
 
 fn usage(message: &str) -> ! {
     if !message.is_empty() {
         eprintln!("error: {message}");
     }
-    eprintln!("usage: <bin> [--quick] [--caps 14,22,30] [--json out.json]");
+    eprintln!(
+        "usage: <bin> [--quick] [--caps 14,22,30] [--json out.json] \
+         [--device dev.json] [--config cfg.json] [--model model.json]"
+    );
     std::process::exit(if message.is_empty() { 0 } else { 2 });
 }
 

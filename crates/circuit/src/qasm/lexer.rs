@@ -67,9 +67,12 @@ impl fmt::Display for TokenKind {
 
 /// Tokenizes `src`, skipping whitespace and `//` comments.
 ///
-/// Returns the token stream or a `(line, message)` pair describing the
-/// first lexical error.
-pub fn tokenize(src: &str) -> Result<Vec<Token>, (u32, String)> {
+/// Returns the token stream together with the 1-based line number at
+/// which the source ends (which can be past the last token's line when
+/// the file ends in blank lines or comments — the parser reports
+/// unexpected-EOF errors there), or a `(line, message)` pair describing
+/// the first lexical error.
+pub fn tokenize(src: &str) -> Result<(Vec<Token>, u32), (u32, String)> {
     let mut tokens = Vec::new();
     let mut line: u32 = 1;
     let bytes: Vec<char> = src.chars().collect();
@@ -231,7 +234,7 @@ pub fn tokenize(src: &str) -> Result<Vec<Token>, (u32, String)> {
             }
         }
     }
-    Ok(tokens)
+    Ok((tokens, line))
 }
 
 #[cfg(test)]
@@ -239,7 +242,12 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<TokenKind> {
-        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+        tokenize(src)
+            .unwrap()
+            .0
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]
@@ -278,13 +286,24 @@ mod tests {
 
     #[test]
     fn comments_and_lines_tracked() {
-        let toks = tokenize("h q; // a comment\ncx q, r;").unwrap();
+        let (toks, end) = tokenize("h q; // a comment\ncx q, r;").unwrap();
         assert_eq!(toks[0].line, 1);
         let cx = toks
             .iter()
             .find(|t| t.kind == TokenKind::Ident("cx".into()))
             .unwrap();
         assert_eq!(cx.line, 2);
+        assert_eq!(end, 2);
+    }
+
+    #[test]
+    fn final_line_counts_trailing_blanks_and_comments() {
+        let (toks, end) = tokenize("h q;\n\n// trailing comment\n\n").unwrap();
+        assert_eq!(toks.last().unwrap().line, 1);
+        assert_eq!(end, 5);
+        let (toks, end) = tokenize("").unwrap();
+        assert!(toks.is_empty());
+        assert_eq!(end, 1);
     }
 
     #[test]

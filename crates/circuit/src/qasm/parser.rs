@@ -54,6 +54,10 @@ struct Register {
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
+    /// 1-based line on which the source text ends, from the lexer:
+    /// unexpected-EOF errors are reported here, not at the last token
+    /// (which may sit many lines earlier in a truncated file).
+    final_line: u32,
     qregs: HashMap<String, Register>,
     cregs: HashMap<String, Register>,
     num_qubits: u32,
@@ -90,10 +94,12 @@ impl Operand {
 /// errors, references to undeclared registers, out-of-range indices and
 /// unsupported constructs.
 pub fn parse(src: &str) -> Result<Circuit, QasmError> {
-    let tokens = tokenize(src).map_err(|(line, message)| QasmError::new(line, message))?;
+    let (tokens, final_line) =
+        tokenize(src).map_err(|(line, message)| QasmError::new(line, message))?;
     let mut parser = Parser {
         tokens,
         pos: 0,
+        final_line,
         qregs: HashMap::new(),
         cregs: HashMap::new(),
         num_qubits: 0,
@@ -106,11 +112,14 @@ impl Parser {
         self.tokens.get(self.pos)
     }
 
+    /// Line for an error at the current position: the next token's
+    /// line, or — when the token stream is exhausted — the true last
+    /// line of the source as counted by the lexer.
     fn line(&self) -> u32 {
         self.tokens
-            .get(self.pos.min(self.tokens.len().saturating_sub(1)))
+            .get(self.pos)
             .map(|t| t.line)
-            .unwrap_or(1)
+            .unwrap_or(self.final_line)
     }
 
     fn bump(&mut self) -> Option<Token> {
@@ -650,6 +659,21 @@ mod tests {
         // Missing semicolon detected when `cx` appears on line 4 of the
         // full source (header is 2 lines).
         assert!(err.line() >= 4, "line was {}", err.line());
+    }
+
+    #[test]
+    fn eof_errors_report_the_true_last_line() {
+        // Truncated mid-statement on line 5 of the full source: the
+        // unexpected-EOF error must point there, not at line 1.
+        let err = parse_body("qreg q[4];\nh q[0];\ncx q[0], q[1]").unwrap_err();
+        assert!(err.message().contains("end of input"), "{err}");
+        assert_eq!(err.line(), 5);
+
+        // Trailing blank/comment lines push the reported EOF line to the
+        // real end of the file, past the last token.
+        let err = parse_body("qreg q[4];\ncx q[0],\n// nothing follows\n\n").unwrap_err();
+        assert!(err.message().contains("end of input"), "{err}");
+        assert_eq!(err.line(), 7);
     }
 
     #[test]

@@ -91,6 +91,28 @@ impl Default for CompilerConfig {
     }
 }
 
+/// Error from [`CompilerConfig::from_json`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigJsonError {
+    message: String,
+}
+
+impl ConfigJsonError {
+    /// Human-readable description (parser line/column or offending
+    /// field).
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for ConfigJsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "compiler config JSON error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ConfigJsonError {}
+
 impl CompilerConfig {
     /// Config with the given reorder method and default buffering.
     pub fn with_reorder(reorder: ReorderMethod) -> Self {
@@ -98,6 +120,31 @@ impl CompilerConfig {
             reorder,
             ..CompilerConfig::default()
         }
+    }
+
+    /// Loads a config from JSON, e.g.
+    /// `{"reorder": "IonSwap", "buffer_slots": 1}`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigJsonError`] (never panics) for malformed JSON,
+    /// missing fields or an unknown reorder method.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use qccd_compiler::{CompilerConfig, ReorderMethod};
+    ///
+    /// let c = CompilerConfig::from_json(
+    ///     r#"{"reorder": "GateSwap", "buffer_slots": 2}"#,
+    /// ).unwrap();
+    /// assert_eq!(c, CompilerConfig::default());
+    /// assert!(CompilerConfig::from_json(r#"{"reorder": "Sort"}"#).is_err());
+    /// ```
+    pub fn from_json(text: &str) -> Result<CompilerConfig, ConfigJsonError> {
+        serde_json::from_str(text).map_err(|e| ConfigJsonError {
+            message: e.to_string(),
+        })
     }
 }
 
@@ -129,5 +176,30 @@ mod tests {
         let c = CompilerConfig::with_reorder(ReorderMethod::IonSwap);
         assert_eq!(c.reorder, ReorderMethod::IonSwap);
         assert_eq!(c.buffer_slots, 2);
+    }
+
+    #[test]
+    fn json_round_trips() {
+        for config in [
+            CompilerConfig::default(),
+            CompilerConfig {
+                reorder: ReorderMethod::IonSwap,
+                buffer_slots: 0,
+            },
+        ] {
+            let json = serde_json::to_string(&config).unwrap();
+            assert_eq!(CompilerConfig::from_json(&json).unwrap(), config);
+        }
+    }
+
+    #[test]
+    fn json_errors_are_descriptive() {
+        let err = CompilerConfig::from_json("{\"reorder\": \"GateSwap\"}").unwrap_err();
+        assert!(err.message().contains("buffer_slots"), "{err}");
+        let err = CompilerConfig::from_json("not json").unwrap_err();
+        assert!(err.to_string().contains("line 1"), "{err}");
+        let err =
+            CompilerConfig::from_json("{\"reorder\": \"Bogus\", \"buffer_slots\": 2}").unwrap_err();
+        assert!(err.message().contains("Bogus"), "{err}");
     }
 }

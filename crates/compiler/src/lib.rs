@@ -56,7 +56,7 @@ pub mod mapping;
 pub mod state;
 
 pub use compile::compile;
-pub use config::{CompilerConfig, ReorderMethod};
+pub use config::{CompilerConfig, ConfigJsonError, ReorderMethod};
 pub use error::CompileError;
 pub use executable::{Executable, Inst, OpCounts};
 pub use mapping::{initial_map, Placement};

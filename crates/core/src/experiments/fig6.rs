@@ -12,7 +12,7 @@ use crate::sweep::parallel_map;
 use crate::toolflow::Toolflow;
 use qccd_circuit::{generators, Circuit};
 use qccd_compiler::CompilerConfig;
-use qccd_device::presets;
+use qccd_device::{presets, Device};
 use qccd_physics::{GateImpl, PhysicalModel};
 use qccd_sim::SimReport;
 
@@ -24,8 +24,27 @@ pub fn generate(capacities: &[u32]) -> Figure {
 /// Runs the Fig. 6 study on a custom benchmark suite (used by tests and
 /// scaled-down quick runs).
 pub fn generate_with_suite(suite: &[Circuit], capacities: &[u32]) -> Figure {
+    generate_on(suite, capacities, presets::l6, CompilerConfig::default())
+}
+
+/// Runs the trap-sizing study on an arbitrary device family: the
+/// `--device`/`--config` path of the `fig6` harness binary rescales a
+/// JSON-loaded topology with [`Device::with_uniform_capacity`] and
+/// passes it here.
+pub fn generate_on<F>(
+    suite: &[Circuit],
+    capacities: &[u32],
+    device_at: F,
+    config: CompilerConfig,
+) -> Figure
+where
+    F: Fn(u32) -> Device + Sync,
+{
     let model = PhysicalModel::with_gate(GateImpl::Fm);
-    let config = CompilerConfig::default();
+    let device_name = capacities
+        .first()
+        .map(|&c| device_at(c).name().to_owned())
+        .unwrap_or_else(|| "??".to_owned());
 
     // Evaluate the (app × capacity) matrix in parallel.
     let cells: Vec<(usize, u32)> = suite
@@ -34,7 +53,7 @@ pub fn generate_with_suite(suite: &[Circuit], capacities: &[u32]) -> Figure {
         .flat_map(|(a, _)| capacities.iter().map(move |&c| (a, c)))
         .collect();
     let outcomes = parallel_map(&cells, |&(a, cap)| {
-        Toolflow::with_config(presets::l6(cap), model, config)
+        Toolflow::with_config(device_at(cap), model, config)
             .run(&suite[a])
             .ok()
     });
@@ -138,7 +157,10 @@ pub fn generate_with_suite(suite: &[Circuit], capacities: &[u32]) -> Figure {
 
     Figure {
         id: "6".into(),
-        caption: "Trap sizing choices (L6 device, FM two-qubit gates, GS chain reordering)".into(),
+        caption: format!(
+            "Trap sizing choices ({device_name} device, FM two-qubit gates, {} chain reordering)",
+            config.reorder.name()
+        ),
         panels,
     }
 }
@@ -176,6 +198,27 @@ mod tests {
             assert!(s.y[0].is_some(), "{} missing", s.label);
             assert!(s.y[0].unwrap() > 0.0);
         }
+    }
+
+    #[test]
+    fn custom_topology_study_matches_preset_for_the_same_family() {
+        // `generate_on` with a JSON-round-tripped L6 template must
+        // reproduce the preset study bit-for-bit (the acceptance
+        // criterion behind the `--device` path), apart from nothing.
+        let suite = mini_suite();
+        let caps = [6, 10];
+        let template = qccd_device::Device::from_json(
+            &serde_json::to_string(&qccd_device::presets::l6(99)).unwrap(),
+        )
+        .unwrap();
+        let preset = generate_with_suite(&suite, &caps);
+        let custom = generate_on(
+            &suite,
+            &caps,
+            |cap| template.with_uniform_capacity(cap),
+            qccd_compiler::CompilerConfig::default(),
+        );
+        assert_eq!(preset, custom);
     }
 
     #[test]

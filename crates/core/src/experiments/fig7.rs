@@ -21,8 +21,13 @@ pub fn generate(capacities: &[u32]) -> Figure {
 
 /// Runs the Fig. 7 study on a custom suite.
 pub fn generate_with_suite(suite: &[Circuit], capacities: &[u32]) -> Figure {
+    generate_on(suite, capacities, CompilerConfig::default())
+}
+
+/// Runs the topology study under an explicit compiler configuration
+/// (the `--config` path of the `fig7` harness binary).
+pub fn generate_on(suite: &[Circuit], capacities: &[u32], config: CompilerConfig) -> Figure {
     let model = PhysicalModel::with_gate(GateImpl::Fm);
-    let config = CompilerConfig::default();
 
     // (app, capacity, topology): topology 0 = linear, 1 = grid.
     let cells: Vec<(usize, u32, u8)> = suite
@@ -95,7 +100,10 @@ pub fn generate_with_suite(suite: &[Circuit], capacities: &[u32]) -> Figure {
 
     Figure {
         id: "7".into(),
-        caption: "Communication topology choices (L6 vs G2x3, FM gates, GS reordering)".into(),
+        caption: format!(
+            "Communication topology choices (L6 vs G2x3, FM gates, {} reordering)",
+            config.reorder.name()
+        ),
         panels,
     }
 }

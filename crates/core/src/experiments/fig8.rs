@@ -13,7 +13,7 @@ use crate::sweep::parallel_map;
 use crate::toolflow::Toolflow;
 use qccd_circuit::{generators, Circuit};
 use qccd_compiler::{CompilerConfig, ReorderMethod};
-use qccd_device::presets;
+use qccd_device::{presets, Device};
 use qccd_physics::{GateImpl, PhysicalModel};
 use qccd_sim::SimReport;
 
@@ -24,6 +24,20 @@ pub fn generate(capacities: &[u32]) -> Figure {
 
 /// Runs the Fig. 8 study on a custom suite.
 pub fn generate_with_suite(suite: &[Circuit], capacities: &[u32]) -> Figure {
+    generate_on(suite, capacities, presets::l6)
+}
+
+/// Runs the microarchitecture study on an arbitrary device family (the
+/// `--device` path of the `fig8` harness binary).
+pub fn generate_on<F>(suite: &[Circuit], capacities: &[u32], device_at: F) -> Figure
+where
+    F: Fn(u32) -> Device + Sync,
+{
+    let device_name = capacities
+        .first()
+        .map(|&c| device_at(c).name().to_owned())
+        .unwrap_or_else(|| "??".to_owned());
+
     // (app, capacity, reorder) cells; each yields 4 gate-impl outcomes.
     let cells: Vec<(usize, u32, ReorderMethod)> = suite
         .iter()
@@ -36,7 +50,7 @@ pub fn generate_with_suite(suite: &[Circuit], capacities: &[u32]) -> Figure {
         .collect();
 
     let outcomes: Vec<Vec<Option<SimReport>>> = parallel_map(&cells, |&(a, cap, reorder)| {
-        let device = presets::l6(cap);
+        let device = device_at(cap);
         let config = CompilerConfig::with_reorder(reorder);
         let tf = Toolflow::with_config(device, PhysicalModel::default(), config);
         match tf.compile(&suite[a]) {
@@ -44,11 +58,8 @@ pub fn generate_with_suite(suite: &[Circuit], capacities: &[u32]) -> Figure {
             Ok(exe) => GateImpl::ALL
                 .iter()
                 .map(|&g| {
-                    let tf = Toolflow::with_config(
-                        presets::l6(cap),
-                        PhysicalModel::with_gate(g),
-                        config,
-                    );
+                    let tf =
+                        Toolflow::with_config(device_at(cap), PhysicalModel::with_gate(g), config);
                     tf.simulate(&exe).ok()
                 })
                 .collect(),
@@ -104,10 +115,10 @@ pub fn generate_with_suite(suite: &[Circuit], capacities: &[u32]) -> Figure {
 
     Figure {
         id: "8".into(),
-        caption:
+        caption: format!(
             "Microarchitecture choices: 4 two-qubit gate implementations × 2 chain reordering \
-             methods (L6 topology)"
-                .into(),
+             methods ({device_name} topology)"
+        ),
         panels,
     }
 }

@@ -70,7 +70,10 @@ impl fmt::Display for Panel {
             write!(f, "{x}")?;
             for s in &self.series {
                 match s.y.get(i).copied().flatten() {
-                    Some(v) => write!(f, ",{v:.6e}")?,
+                    // Same canonical float text as the `--json` dumps,
+                    // so the CSV and JSON views of one artifact never
+                    // disagree and goldens stay stable across paths.
+                    Some(v) => write!(f, ",{}", qccd_sim::canonical_float(v))?,
                     None => write!(f, ",")?,
                 }
             }
@@ -163,8 +166,33 @@ mod tests {
         };
         let text = p.to_string();
         assert!(text.contains("capacity,adder"));
-        assert!(text.contains("14,5.000000e-1"));
+        assert!(text.contains("14,0.5"));
         assert!(text.contains("16,\n"));
+    }
+
+    #[test]
+    fn panel_display_floats_match_the_json_dump() {
+        // The satellite invariant: one canonical float emission across
+        // the CSV-ish Display path and the serde_json path.
+        let v = 0.30504420999999804_f64;
+        let p = Panel {
+            id: "6a".into(),
+            title: "t".into(),
+            y_label: "y".into(),
+            x: vec![14],
+            series: vec![Series {
+                label: "s".into(),
+                y: vec![Some(v)],
+            }],
+        };
+        let csv = p.to_string();
+        let json = serde_json::to_string(&p).unwrap();
+        let canonical = qccd_sim::canonical_float(v);
+        assert!(csv.contains(&canonical), "csv: {csv}");
+        assert!(json.contains(&canonical), "json: {json}");
+        // And the canonical text parses back to the exact value.
+        let back: f64 = serde_json::from_str(&canonical).unwrap();
+        assert_eq!(back.to_bits(), v.to_bits());
     }
 
     #[test]

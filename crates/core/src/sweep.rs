@@ -12,11 +12,16 @@ use qccd_device::Device;
 use qccd_physics::PhysicalModel;
 use qccd_sim::SimReport;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// Applies `f` to every item, in parallel, preserving input order.
 ///
 /// The closure may fail; errors are returned per item.
+///
+/// Work distribution is dynamic (an atomic work index, so expensive
+/// sweep points don't stall a statically partitioned worker), but each
+/// worker accumulates `(index, result)` pairs in its own buffer; the
+/// buffers are stitched back into input order after the scope joins.
+/// No lock is ever taken on the result path.
 pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
     T: Sync,
@@ -24,31 +29,36 @@ where
     F: Fn(&T) -> R + Sync,
 {
     let n = items.len();
-    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
     let next = AtomicUsize::new(0);
     let workers = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1)
         .min(n.max(1));
 
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let r = f(&items[i]);
-                results
-                    .lock()
-                    .expect("no worker panics while holding the results lock")[i] = Some(r);
-            });
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut own: Vec<(usize, R)> = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            return own;
+                        }
+                        own.push((i, f(&items[i])));
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (i, r) in handle.join().expect("sweep worker panicked") {
+                results[i] = Some(r);
+            }
         }
     });
 
     results
-        .into_inner()
-        .expect("all workers joined")
         .into_iter()
         .map(|r| r.expect("every index visited"))
         .collect()
@@ -96,6 +106,40 @@ mod tests {
         let items: Vec<u64> = (0..64).collect();
         let out = parallel_map(&items, |&x| x * 2);
         assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_preserves_order_under_skewed_durations() {
+        // Early items take much longer than late ones, so workers finish
+        // out of submission order; the stitched output must still be in
+        // input order with every index present exactly once.
+        let items: Vec<u64> = (0..128).collect();
+        let out = parallel_map(&items, |&x| {
+            if x < 4 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            x * 3
+        });
+        assert_eq!(out, items.iter().map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_passes_errors_through_per_item() {
+        let items: Vec<u32> = (0..50).collect();
+        let out = parallel_map(&items, |&x| {
+            if x % 7 == 0 {
+                Err(format!("bad {x}"))
+            } else {
+                Ok(x + 1)
+            }
+        });
+        for (i, r) in out.iter().enumerate() {
+            if i % 7 == 0 {
+                assert_eq!(r.as_ref().unwrap_err(), &format!("bad {i}"));
+            } else {
+                assert_eq!(r.as_ref().unwrap(), &(i as u32 + 1));
+            }
+        }
     }
 
     #[test]

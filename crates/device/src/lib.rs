@@ -46,4 +46,4 @@ pub mod topology;
 pub use builder::{BuildError, DeviceBuilder};
 pub use ids::{IonId, JunctionId, SegmentId, Side, TrapId};
 pub use path::{Leg, Route, RouteError};
-pub use topology::{Device, Junction, JunctionKind, NodeRef, Segment, Trap};
+pub use topology::{Device, DeviceJsonError, Junction, JunctionKind, NodeRef, Segment, Trap};

@@ -161,11 +161,35 @@ impl Segment {
     }
 }
 
+/// Error from [`Device::from_json`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeviceJsonError {
+    /// The text is not valid JSON, or is JSON that is not shaped like a
+    /// serialized device (the parser's line/column or the offending
+    /// field is in the message).
+    Parse(String),
+    /// Well-formed device JSON describing an inconsistent topology
+    /// (dangling ids, port/segment mismatches, disconnected traps, …).
+    Invalid(String),
+}
+
+impl fmt::Display for DeviceJsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceJsonError::Parse(m) => write!(f, "device JSON parse error: {m}"),
+            DeviceJsonError::Invalid(m) => write!(f, "invalid device: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceJsonError {}
+
 /// A complete QCCD device: the input "candidate architecture" of the
 /// paper's toolflow (Fig. 3).
 ///
-/// Construct devices with [`crate::DeviceBuilder`] or the
-/// [`crate::presets`] functions.
+/// Construct devices with [`crate::DeviceBuilder`], the
+/// [`crate::presets`] functions, or load one from a JSON file with
+/// [`Device::from_json`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Device {
     name: String,
@@ -187,6 +211,188 @@ impl Device {
             segments,
             junctions,
         }
+    }
+
+    /// Loads a device from its JSON serialization (the format written
+    /// by `serde_json::to_string_pretty(&device)`), validating the
+    /// topology before returning it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceJsonError::Parse`] for malformed JSON or wrong
+    /// shape, and [`DeviceJsonError::Invalid`] for a structurally
+    /// well-formed file describing an inconsistent device — never
+    /// panics on untrusted input.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use qccd_device::{presets, Device};
+    ///
+    /// let json = serde_json::to_string_pretty(&presets::l6(20)).unwrap();
+    /// let loaded = Device::from_json(&json).unwrap();
+    /// assert_eq!(loaded, presets::l6(20));
+    /// assert!(Device::from_json("{\"name\": 3}").is_err());
+    /// ```
+    pub fn from_json(text: &str) -> Result<Device, DeviceJsonError> {
+        let device: Device =
+            serde_json::from_str(text).map_err(|e| DeviceJsonError::Parse(e.to_string()))?;
+        device.validate().map_err(DeviceJsonError::Invalid)?;
+        Ok(device)
+    }
+
+    /// Checks the internal consistency of the topology: id ranges,
+    /// port/segment/junction cross-references, junction degrees, trap
+    /// capacities and connectivity.
+    ///
+    /// Devices built through [`crate::DeviceBuilder`] are consistent by
+    /// construction; this guards the deserialization path, where every
+    /// invariant can be violated by hand-edited JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.traps.is_empty() {
+            return Err("device must contain at least one trap".into());
+        }
+        for t in self.trap_ids() {
+            if self.trap(t).capacity() == 0 {
+                return Err(format!("trap {t} has zero capacity"));
+            }
+        }
+        for s in self.segment_ids() {
+            let seg = self.segment(s);
+            for node in [seg.a(), seg.b()] {
+                match node {
+                    NodeRef::Trap(t) if t.index() >= self.trap_count() => {
+                        return Err(format!("segment {s} references unknown trap {t}"));
+                    }
+                    NodeRef::Junction(j) if j.index() >= self.junction_count() => {
+                        return Err(format!("segment {s} references unknown junction {j}"));
+                    }
+                    _ => {}
+                }
+            }
+            if seg.a() == seg.b() {
+                return Err(format!("segment {s} is a self-loop at {}", seg.a()));
+            }
+            if seg.length() == 0 {
+                return Err(format!("segment {s} has zero length"));
+            }
+        }
+        // Trap ports and segment endpoints must agree in both directions.
+        for t in self.trap_ids() {
+            for side in Side::BOTH {
+                if let Some(s) = self.trap(t).port(side) {
+                    if s.index() >= self.segment_count() {
+                        return Err(format!(
+                            "{side} port of trap {t} references unknown segment {s}"
+                        ));
+                    }
+                    if self.segment(s).other_end(NodeRef::Trap(t)).is_none() {
+                        return Err(format!(
+                            "{side} port of trap {t} names segment {s}, which does not end at {t}"
+                        ));
+                    }
+                }
+            }
+            if let (Some(left), Some(right)) = (
+                self.trap(t).port(Side::Left),
+                self.trap(t).port(Side::Right),
+            ) {
+                if left == right {
+                    return Err(format!(
+                        "both ports of trap {t} name the same segment {left}"
+                    ));
+                }
+            }
+        }
+        for s in self.segment_ids() {
+            let seg = self.segment(s);
+            for node in [seg.a(), seg.b()] {
+                match node {
+                    NodeRef::Trap(t) => {
+                        if self.trap(t).side_of_port(s).is_none() {
+                            return Err(format!(
+                                "segment {s} ends at trap {t}, but no port of {t} names it"
+                            ));
+                        }
+                    }
+                    NodeRef::Junction(j) => {
+                        if !self.junction(j).segments().contains(&s) {
+                            return Err(format!(
+                                "segment {s} ends at junction {j}, but {j} does not list it"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        for j in self.junction_ids() {
+            let junction = self.junction(j);
+            if junction.degree() > 4 {
+                return Err(format!(
+                    "junction {j} has degree {} (at most 4 supported)",
+                    junction.degree()
+                ));
+            }
+            for (i, &s) in junction.segments().iter().enumerate() {
+                if s.index() >= self.segment_count() {
+                    return Err(format!("junction {j} lists unknown segment {s}"));
+                }
+                if self.segment(s).other_end(NodeRef::Junction(j)).is_none() {
+                    return Err(format!(
+                        "junction {j} lists segment {s}, which does not end at {j}"
+                    ));
+                }
+                if junction.segments()[..i].contains(&s) {
+                    return Err(format!("junction {j} lists segment {s} twice"));
+                }
+            }
+        }
+        // Connectivity: every trap must reach trap 0 (mirrors
+        // `DeviceBuilder::build`).
+        if self.trap_count() > 1 {
+            let n_traps = self.trap_count();
+            let idx = |n: NodeRef| match n {
+                NodeRef::Trap(t) => t.index(),
+                NodeRef::Junction(j) => n_traps + j.index(),
+            };
+            let mut seen = vec![false; n_traps + self.junction_count()];
+            let mut queue = std::collections::VecDeque::new();
+            seen[0] = true;
+            queue.push_back(NodeRef::Trap(TrapId(0)));
+            while let Some(node) = queue.pop_front() {
+                for s in self.segments_at(node) {
+                    if let Some(next) = self.segment(s).other_end(node) {
+                        if !seen[idx(next)] {
+                            seen[idx(next)] = true;
+                            queue.push_back(next);
+                        }
+                    }
+                }
+            }
+            for t in self.trap_ids() {
+                if !seen[t.index()] {
+                    return Err(format!(
+                        "device is disconnected: no path between T0 and {t}"
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// A copy of this topology with every trap capacity set to
+    /// `capacity` — the transformation behind running the paper's
+    /// trap-sizing sweeps (Figs. 6, 8) on a custom JSON-loaded device.
+    pub fn with_uniform_capacity(&self, capacity: u32) -> Device {
+        let mut device = self.clone();
+        for trap in &mut device.traps {
+            trap.capacity = capacity;
+        }
+        device
     }
 
     /// Device name (used in reports).
@@ -402,5 +608,95 @@ mod tests {
         let text = presets::l6(20).to_string();
         assert!(text.contains("6 traps"));
         assert!(text.contains("capacity 120"));
+    }
+
+    #[test]
+    fn json_round_trips_presets() {
+        for device in [presets::l6(20), presets::g2x3(17), presets::linear(4, 9, 3)] {
+            let json = serde_json::to_string_pretty(&device).unwrap();
+            let loaded = Device::from_json(&json).unwrap();
+            assert_eq!(loaded, device);
+            // Routes and capacities behave identically after the trip.
+            assert_eq!(loaded.total_capacity(), device.total_capacity());
+            assert_eq!(loaded.trap_leg_distances(), device.trap_leg_distances());
+        }
+    }
+
+    #[test]
+    fn from_json_reports_parse_errors_with_position() {
+        let err = Device::from_json("{\n  \"name\": \"x\",\n  oops\n}").unwrap_err();
+        match err {
+            DeviceJsonError::Parse(m) => assert!(m.contains("line 3"), "message: {m}"),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        // Wrong shape (valid JSON) is still a parse-class error.
+        assert!(matches!(
+            Device::from_json("{\"name\": 3}"),
+            Err(DeviceJsonError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn from_json_rejects_inconsistent_topologies() {
+        // Tamper with a valid serialization in ways the type system
+        // cannot catch: each must be an Invalid error, not a panic.
+        let good = serde_json::to_string(&presets::l6(10)).unwrap();
+        for (needle, replacement, expect) in [
+            // Dangling segment id in a trap port.
+            (
+                "\"ports\":[null,0]",
+                "\"ports\":[null,99]",
+                "unknown segment",
+            ),
+            // Capacity zero.
+            ("\"capacity\":10", "\"capacity\":0", "zero capacity"),
+            // Segment length zero.
+            ("\"length\":4", "\"length\":0", "zero length"),
+        ] {
+            let bad = good.replacen(needle, replacement, 1);
+            assert_ne!(bad, good, "tamper pattern `{needle}` did not apply");
+            match Device::from_json(&bad) {
+                Err(DeviceJsonError::Invalid(m)) => {
+                    assert!(m.contains(expect), "message `{m}` missing `{expect}`")
+                }
+                other => panic!("tamper `{needle}`: expected Invalid, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn validate_rejects_disconnected_and_mismatched_ports() {
+        // Two traps, one segment, but the ports don't reference it.
+        let d = Device::from_parts(
+            "bad".into(),
+            vec![Trap::new(5), Trap::new(5)],
+            vec![],
+            vec![],
+        );
+        assert!(d.validate().unwrap_err().contains("disconnected"));
+
+        let mut t0 = Trap::new(5);
+        t0.set_port(Side::Right, SegmentId(0));
+        let d = Device::from_parts(
+            "bad".into(),
+            vec![t0, Trap::new(5)],
+            vec![Segment::new(
+                NodeRef::Trap(TrapId(0)),
+                NodeRef::Trap(TrapId(1)),
+                2,
+            )],
+            vec![],
+        );
+        // T1 end of segment 0 is not registered in T1's ports.
+        assert!(d.validate().unwrap_err().contains("no port"));
+    }
+
+    #[test]
+    fn uniform_capacity_rescales_only_capacities() {
+        let d = presets::g2x3(17).with_uniform_capacity(23);
+        assert_eq!(d.max_trap_capacity(), 23);
+        assert_eq!(d.total_capacity(), 6 * 23);
+        assert_eq!(d.segment_count(), presets::g2x3(17).segment_count());
+        assert!(d.validate().is_ok());
     }
 }

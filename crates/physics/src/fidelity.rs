@@ -88,6 +88,33 @@ impl FidelityModel {
         self.a0 * n / n.ln()
     }
 
+    /// Checks physical plausibility (non-negative finite rates, fixed
+    /// error probabilities inside `[0, 1]`), for the JSON loading path.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [("gamma_per_s", self.gamma_per_s), ("a0", self.a0)] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!(
+                    "fidelity `{name}` must be finite and >= 0, got {v}"
+                ));
+            }
+        }
+        for (name, v) in [
+            ("one_qubit_error", self.one_qubit_error),
+            ("measure_error", self.measure_error),
+        ] {
+            if !v.is_finite() || !(0.0..=1.0).contains(&v) {
+                return Err(format!(
+                    "fidelity `{name}` must be a probability in [0, 1], got {v}"
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Error breakdown for a two-qubit MS gate of duration `tau_us` (µs)
     /// in a chain of `chain_len` ions at motional energy `nbar` quanta.
     pub fn two_qubit_error(&self, tau_us: f64, chain_len: u32, nbar: f64) -> ErrorBreakdown {

@@ -108,6 +108,32 @@ impl HeatingModel {
     pub fn move_energy(&self, segments: u32, junctions: u32) -> f64 {
         self.k2 * f64::from(segments) + self.k_junction * f64::from(junctions)
     }
+
+    /// Checks physical plausibility (non-negative finite rates, a
+    /// positive reference chain length), for the JSON loading path.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("k1", self.k1),
+            ("k2", self.k2),
+            ("k_junction", self.k_junction),
+            ("chain_exp", self.chain_exp),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!("heating `{name}` must be finite and >= 0, got {v}"));
+            }
+        }
+        if !self.chain_ref.is_finite() || self.chain_ref <= 0.0 {
+            return Err(format!(
+                "heating `chain_ref` must be finite and > 0, got {}",
+                self.chain_ref
+            ));
+        }
+        Ok(())
+    }
 }
 
 impl Default for HeatingModel {
@@ -199,5 +225,71 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn empty_subchain_panics() {
         let _ = HeatingModel::default().split(1.0, 0, 5);
+    }
+
+    #[test]
+    fn k1_clamps_to_published_value_below_chain_ref() {
+        // Below the reference length the scaling factor is max(1, ·)^e
+        // = 1, so the published k₁ = 0.1 must be reproduced *exactly*
+        // (bit-for-bit), including at the n = chain_ref boundary.
+        let h = HeatingModel::PAPER;
+        for n in 1..=10u32 {
+            assert_eq!(h.k1_for(n).to_bits(), 0.1f64.to_bits(), "chain of {n}");
+        }
+        // Just above the boundary the scaling engages: (11/10)².
+        assert!((h.k1_for(11) - 0.1 * 1.1f64.powi(2)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn chain_exp_zero_recovers_constant_k1_everywhere() {
+        let flat = HeatingModel {
+            chain_exp: 0.0,
+            ..HeatingModel::PAPER
+        };
+        for n in [1u32, 5, 10, 11, 33, 100, 10_000] {
+            assert_eq!(flat.k1_for(n), HeatingModel::CONSTANT_K1.k1_for(n));
+            assert_eq!(flat.k1_for(n), flat.k1, "chain of {n}");
+        }
+        // And whole split/merge cycles agree between the two spellings.
+        assert_eq!(
+            flat.split(2.0, 13, 21),
+            HeatingModel::CONSTANT_K1.split(2.0, 13, 21)
+        );
+        assert_eq!(
+            flat.merge(0.3, 0.9, 34),
+            HeatingModel::CONSTANT_K1.merge(0.3, 0.9, 34)
+        );
+    }
+
+    #[test]
+    fn split_and_merge_conserve_energy_under_json_loaded_models() {
+        // The conservation laws must survive the JSON round trip: a
+        // split adds exactly 2·k1(n) on top of the proportional division
+        // and a merge exactly k1(n) on top of the sum, for the paper
+        // model, the constant-k₁ variant, and a custom file.
+        let custom: HeatingModel = serde_json::from_str(
+            r#"{"k1": 0.25, "k2": 0.02, "k_junction": 0.05,
+                "chain_ref": 6, "chain_exp": 1.5}"#,
+        )
+        .unwrap();
+        assert!(custom.validate().is_ok());
+        for model in [HeatingModel::PAPER, HeatingModel::CONSTANT_K1, custom] {
+            let loaded: HeatingModel =
+                serde_json::from_str(&serde_json::to_string(&model).unwrap()).unwrap();
+            assert_eq!(loaded, model);
+            for (energy, n_a, n_b) in [(0.0, 1, 9), (1.7, 3, 7), (4.2, 20, 15)] {
+                let (e_a, e_b) = loaded.split(energy, n_a, n_b);
+                let expected = energy + 2.0 * loaded.k1_for(n_a + n_b);
+                assert!(
+                    (e_a + e_b - expected).abs() < 1e-12,
+                    "split({energy}, {n_a}, {n_b}) leaked energy"
+                );
+                let merged = loaded.merge(e_a, e_b, n_a + n_b);
+                assert!(
+                    (merged - (e_a + e_b + loaded.k1_for(n_a + n_b))).abs() < 1e-12,
+                    "merge({n_a}+{n_b}) leaked energy"
+                );
+            }
+        }
     }
 }

@@ -44,5 +44,5 @@ pub mod shuttle;
 pub use fidelity::{ErrorBreakdown, FidelityModel};
 pub use gate_time::GateImpl;
 pub use heating::HeatingModel;
-pub use model::PhysicalModel;
+pub use model::{ModelJsonError, PhysicalModel};
 pub use shuttle::ShuttleTimes;

@@ -41,6 +41,27 @@ pub struct PhysicalModel {
     pub measure_time: f64,
 }
 
+/// Error from [`PhysicalModel::from_json`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelJsonError {
+    /// The text is not valid JSON or not shaped like a physical model.
+    Parse(String),
+    /// Well-formed model JSON with physically implausible constants
+    /// (negative times, non-finite rates, out-of-range probabilities).
+    Invalid(String),
+}
+
+impl std::fmt::Display for ModelJsonError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelJsonError::Parse(m) => write!(f, "physical model JSON parse error: {m}"),
+            ModelJsonError::Invalid(m) => write!(f, "invalid physical model: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelJsonError {}
+
 impl PhysicalModel {
     /// The paper's configuration with the given gate implementation.
     pub fn with_gate(gate_impl: GateImpl) -> Self {
@@ -48,6 +69,57 @@ impl PhysicalModel {
             gate_impl,
             ..PhysicalModel::default()
         }
+    }
+
+    /// Loads a model from its JSON serialization (the format written by
+    /// `serde_json::to_string_pretty(&model)`), validating every
+    /// constant before returning it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelJsonError::Parse`] for malformed JSON or wrong
+    /// shape and [`ModelJsonError::Invalid`] for implausible constants
+    /// — never panics on untrusted input.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use qccd_physics::{GateImpl, PhysicalModel};
+    ///
+    /// let json = serde_json::to_string_pretty(&PhysicalModel::with_gate(GateImpl::Pm)).unwrap();
+    /// let loaded = PhysicalModel::from_json(&json).unwrap();
+    /// assert_eq!(loaded.gate_impl, GateImpl::Pm);
+    /// ```
+    pub fn from_json(text: &str) -> Result<PhysicalModel, ModelJsonError> {
+        let model: PhysicalModel =
+            serde_json::from_str(text).map_err(|e| ModelJsonError::Parse(e.to_string()))?;
+        model.validate().map_err(ModelJsonError::Invalid)?;
+        Ok(model)
+    }
+
+    /// Checks physical plausibility of every constant, delegating to the
+    /// submodels' `validate` methods.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        self.shuttle.validate()?;
+        self.heating.validate()?;
+        self.fidelity.validate()?;
+        if !self.one_qubit_time.is_finite() || self.one_qubit_time <= 0.0 {
+            return Err(format!(
+                "`one_qubit_time` must be finite and > 0, got {}",
+                self.one_qubit_time
+            ));
+        }
+        if !self.measure_time.is_finite() || self.measure_time < 0.0 {
+            return Err(format!(
+                "`measure_time` must be finite and >= 0, got {}",
+                self.measure_time
+            ));
+        }
+        Ok(())
     }
 
     /// Duration (µs) of a native MS gate at `distance` ion separation in a
@@ -122,13 +194,43 @@ mod tests {
 
     #[test]
     fn serde_round_trip() {
-        let m = PhysicalModel::with_gate(GateImpl::Am2);
-        let json = serde_json_compat(&m);
-        assert!(json.contains("Am2"));
+        for gate in GateImpl::ALL {
+            let m = PhysicalModel::with_gate(gate);
+            let json = serde_json::to_string_pretty(&m).unwrap();
+            assert_eq!(PhysicalModel::from_json(&json).unwrap(), m);
+        }
     }
 
-    // Minimal serde smoke test without depending on serde_json here.
-    fn serde_json_compat(m: &PhysicalModel) -> String {
-        format!("{m:?}")
+    #[test]
+    fn from_json_rejects_implausible_constants() {
+        let good = serde_json::to_string(&PhysicalModel::default()).unwrap();
+        for (needle, replacement, expect) in [
+            (
+                "\"one_qubit_time\":5.0",
+                "\"one_qubit_time\":0.0",
+                "one_qubit_time",
+            ),
+            ("\"split\":80.0", "\"split\":-1.0", "split"),
+            ("\"k1\":0.1", "\"k1\":-0.1", "k1"),
+            ("\"chain_ref\":10.0", "\"chain_ref\":0.0", "chain_ref"),
+            (
+                "\"one_qubit_error\":0.0001",
+                "\"one_qubit_error\":2.0",
+                "one_qubit_error",
+            ),
+        ] {
+            let bad = good.replacen(needle, replacement, 1);
+            assert_ne!(bad, good, "tamper pattern `{needle}` did not apply");
+            match PhysicalModel::from_json(&bad) {
+                Err(ModelJsonError::Invalid(m)) => {
+                    assert!(m.contains(expect), "message `{m}` missing `{expect}`")
+                }
+                other => panic!("tamper `{needle}`: expected Invalid, got {other:?}"),
+            }
+        }
+        assert!(matches!(
+            PhysicalModel::from_json("[]"),
+            Err(ModelJsonError::Parse(_))
+        ));
     }
 }

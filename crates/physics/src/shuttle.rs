@@ -50,6 +50,34 @@ impl ShuttleTimes {
     pub fn ion_swap_time(&self) -> f64 {
         self.split + self.ion_rotation + self.merge
     }
+
+    /// Checks physical plausibility (all durations finite and
+    /// non-negative, per-segment motion strictly positive), for the
+    /// JSON loading path.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, v) in [
+            ("move_per_segment", self.move_per_segment),
+            ("split", self.split),
+            ("merge", self.merge),
+            ("junction_y", self.junction_y),
+            ("junction_x", self.junction_x),
+            ("ion_rotation", self.ion_rotation),
+        ] {
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!(
+                    "shuttle time `{name}` must be finite and >= 0, got {v}"
+                ));
+            }
+        }
+        if self.move_per_segment == 0.0 {
+            return Err("shuttle time `move_per_segment` must be > 0".into());
+        }
+        Ok(())
+    }
 }
 
 impl Default for ShuttleTimes {

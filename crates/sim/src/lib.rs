@@ -60,4 +60,4 @@ pub mod spans;
 
 pub use engine::simulate;
 pub use error::SimError;
-pub use report::{ErrorTotals, SimReport, TimeBreakdown};
+pub use report::{canonical_float, ErrorTotals, SimReport, TimeBreakdown};

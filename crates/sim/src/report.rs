@@ -5,6 +5,19 @@ use qccd_compiler::OpCounts;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// The canonical text form of an `f64`: exactly what `serde_json`
+/// emits for the value (shortest round-trippable decimal, always a
+/// decimal point, `null` for non-finite).
+///
+/// Every CSV-ish `Display` path that feeds golden snapshots goes
+/// through this helper, so the text views and the `--json` dumps of an
+/// artifact can never disagree on a float. Defined via the standard
+/// `serde_json::to_string` API only, so it survives swapping the
+/// vendored stub for the real crate.
+pub fn canonical_float(f: f64) -> String {
+    serde_json::to_string(&f).expect("f64 always serializes")
+}
+
 /// Summed error probabilities by operation class.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub struct ErrorTotals {
@@ -112,7 +125,10 @@ impl fmt::Display for SimReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "report for {}", self.name)?;
         writeln!(f, "  time: {:.6} s", self.total_time_s())?;
-        writeln!(f, "  fidelity: {:.6e}", self.fidelity())?;
+        // Canonical float text shared with the JSON dumps, so the
+        // human-readable report and the `--json` artifact never show
+        // different fidelities.
+        writeln!(f, "  fidelity: {}", canonical_float(self.fidelity()))?;
         writeln!(
             f,
             "  compute/communication: {:.6}/{:.6} s",
@@ -203,5 +219,17 @@ mod tests {
         let text = dummy().to_string();
         assert!(text.contains("fidelity"));
         assert!(text.contains("peak motional energy"));
+    }
+
+    #[test]
+    fn canonical_float_agrees_with_the_json_emitter_and_round_trips() {
+        for v in [0.0, -0.0, 2.0, 0.1, 0.30504420999999804, 1e-300, -1e300] {
+            let text = canonical_float(v);
+            assert_eq!(text, serde_json::to_string(&v).unwrap());
+            let back: f64 = serde_json::from_str(&text).unwrap();
+            assert_eq!(back.to_bits(), v.to_bits(), "drift for {v:?}");
+        }
+        assert_eq!(canonical_float(f64::NAN), "null");
+        assert_eq!(canonical_float(f64::INFINITY), "null");
     }
 }

@@ -31,6 +31,15 @@ fn t_device(capacity: u32) -> Result<Device, qccd_device::BuildError> {
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let device = t_device(16)?;
     println!("custom device: {device}");
+
+    // Devices are plain data: the same topology round-trips through
+    // JSON, so it can live in a file instead of Rust code (this exact
+    // device is checked in as examples/devices/t3_y_junction.json and
+    // runnable via `cargo run -p qccd-bench --bin run -- --device ...`).
+    let json = serde_json::to_string_pretty(&device)?;
+    let reloaded = Device::from_json(&json)?;
+    assert_eq!(reloaded, device);
+    println!("JSON round trip: ok ({} bytes)", json.len());
     for a in device.trap_ids() {
         for b in device.trap_ids() {
             if a < b {

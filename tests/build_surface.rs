@@ -20,13 +20,14 @@ const EXAMPLES: [&str; 6] = [
 ];
 
 /// The artifact-regeneration binaries in `qccd-bench`.
-const BENCH_BINS: [&str; 8] = [
+const BENCH_BINS: [&str; 9] = [
     "ablations",
     "all",
     "fig6",
     "fig7",
     "fig8",
     "inspect",
+    "run",
     "table1",
     "table2",
 ];
