@@ -8,8 +8,10 @@
 //!
 //! Instead of the real crate's visitor-based data model, [`Serialize`]
 //! renders directly into a [`Value`] tree which `serde_json`
-//! pretty-prints. [`Deserialize`] is a marker trait only — nothing in
-//! the workspace deserializes at run time.
+//! pretty-prints, and [`Deserialize`] reconstructs values from the same
+//! [`Value`] tree (which `serde_json` parses from text). The derive
+//! macros generate mirrored encodings, so any derived type round-trips:
+//! `from_value(to_value(x)) == x`.
 
 #![warn(missing_docs)]
 
@@ -47,15 +49,100 @@ pub trait Serialize {
     fn to_value(&self) -> Value;
 }
 
-/// Marker trait backing `#[derive(Deserialize)]`.
+/// Error produced while reconstructing a value from a [`Value`] tree:
+/// type mismatches, missing struct fields, unknown enum variants and
+/// out-of-range numbers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError {
+    message: String,
+}
+
+impl DeError {
+    /// An error with a custom message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        DeError {
+            message: message.into(),
+        }
+    }
+
+    /// Expected a value of shape `expected`, found `value`.
+    pub fn type_mismatch(expected: &str, value: &Value) -> Self {
+        DeError::custom(format!("expected {expected}, found {}", value.kind()))
+    }
+
+    /// A required struct field was absent.
+    pub fn missing_field(ty: &str, field: &str) -> Self {
+        DeError::custom(format!("missing field `{field}` of `{ty}`"))
+    }
+
+    /// An enum payload named no known variant.
+    pub fn unknown_variant(ty: &str, variant: &str) -> Self {
+        DeError::custom(format!("unknown variant `{variant}` of enum `{ty}`"))
+    }
+
+    /// The human-readable description.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types reconstructible from a [`Value`] tree.
 ///
-/// The workspace never deserializes at run time, so this carries no
-/// methods; the derive exists so seed code compiles unchanged.
-pub trait Deserialize {}
+/// The inverse of [`Serialize`]: implemented for the std
+/// primitives/containers the workspace uses and derivable via
+/// `#[derive(Deserialize)]`, whose generated code mirrors the
+/// `#[derive(Serialize)]` encoding exactly.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a [`Value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeError`] if `value` does not have the shape this
+    /// type serializes to.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+impl Value {
+    /// Short name of the value's shape, for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "a boolean",
+            Value::Int(_) => "an integer",
+            Value::UInt(_) => "an unsigned integer",
+            Value::Float(_) => "a floating-point number",
+            Value::Str(_) => "a string",
+            Value::Array(_) => "an array",
+            Value::Object(_) => "an object",
+        }
+    }
+
+    /// Looks up a key in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
 
 impl Serialize for Value {
     fn to_value(&self) -> Value {
         self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
     }
 }
 
@@ -175,5 +262,263 @@ impl<K: ToString, V: Serialize> Serialize for HashMap<K, V> {
             .collect();
         entries.sort_by(|a, b| a.0.cmp(&b.0));
         Value::Object(entries)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize impls, mirroring the Serialize impls above.
+// ---------------------------------------------------------------------------
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::type_mismatch("a boolean", other)),
+        }
+    }
+}
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let wide: i64 = match value {
+                    Value::Int(i) => *i,
+                    Value::UInt(u) => i64::try_from(*u).map_err(|_| {
+                        DeError::custom(format!(
+                            "integer {u} out of range for {}",
+                            stringify!($t)
+                        ))
+                    })?,
+                    other => return Err(DeError::type_mismatch("an integer", other)),
+                };
+                <$t>::try_from(wide).map_err(|_| {
+                    DeError::custom(format!(
+                        "integer {wide} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+macro_rules! de_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let wide: u64 = match value {
+                    Value::UInt(u) => *u,
+                    Value::Int(i) => u64::try_from(*i).map_err(|_| {
+                        DeError::custom(format!(
+                            "integer {i} out of range for {}",
+                            stringify!($t)
+                        ))
+                    })?,
+                    other => return Err(DeError::type_mismatch("an unsigned integer", other)),
+                };
+                <$t>::try_from(wide).map_err(|_| {
+                    DeError::custom(format!(
+                        "integer {wide} out of range for {}",
+                        stringify!($t)
+                    ))
+                })
+            }
+        }
+    )*};
+}
+de_int!(i8, i16, i32, i64, isize);
+de_uint!(u8, u16, u32, u64, usize);
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Float(f) => Ok(*f),
+            // JSON has one number type; accept integral literals too.
+            Value::Int(i) => Ok(*i as f64),
+            Value::UInt(u) => Ok(*u as f64),
+            other => Err(DeError::type_mismatch("a number", other)),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        f64::from_value(value).map(|f| f as f32)
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => {
+                let mut chars = s.chars();
+                match (chars.next(), chars.next()) {
+                    (Some(c), None) => Ok(c),
+                    _ => Err(DeError::custom(format!(
+                        "expected a single-character string, found {s:?}"
+                    ))),
+                }
+            }
+            other => Err(DeError::type_mismatch("a string", other)),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::type_mismatch("a string", other)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(DeError::type_mismatch("an array", other)),
+        }
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let items = Vec::<T>::from_value(value)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError::custom(format!("expected an array of {N} elements, found {len}")))
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        T::from_value(value).map(Box::new)
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:literal, $($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Array(items) if items.len() == $len => {
+                        Ok(($($t::from_value(&items[$n])?,)+))
+                    }
+                    other => Err(DeError::type_mismatch(
+                        concat!("an array of ", $len, " elements"),
+                        other,
+                    )),
+                }
+            }
+        }
+    )*};
+}
+de_tuple! {
+    (1, 0 A)
+    (2, 0 A, 1 B)
+    (3, 0 A, 1 B, 2 C)
+    (4, 0 A, 1 B, 2 C, 3 D)
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => Err(DeError::type_mismatch("an object", other)),
+        }
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+                .collect(),
+            other => Err(DeError::type_mismatch("an object", other)),
+        }
+    }
+}
+
+/// Support routines for `#[derive(Deserialize)]`-generated code.
+///
+/// Not part of the public API contract of the real `serde`; the derive
+/// macro is the only intended caller.
+pub mod de {
+    use super::{DeError, Deserialize, Value};
+
+    /// Unwraps an object value into its entry list.
+    pub fn object<'v>(value: &'v Value, ty: &str) -> Result<&'v [(String, Value)], DeError> {
+        match value {
+            Value::Object(entries) => Ok(entries),
+            other => Err(DeError::custom(format!(
+                "expected `{ty}` as an object, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Extracts and deserializes a required struct field.
+    pub fn field<T: Deserialize>(
+        entries: &[(String, Value)],
+        name: &str,
+        ty: &str,
+    ) -> Result<T, DeError> {
+        let value = entries
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v)
+            .ok_or_else(|| DeError::missing_field(ty, name))?;
+        T::from_value(value).map_err(|e| DeError::custom(format!("field `{name}` of `{ty}`: {e}")))
+    }
+
+    /// Unwraps an array value of exactly `len` elements.
+    pub fn array<'v>(value: &'v Value, len: usize, ty: &str) -> Result<&'v [Value], DeError> {
+        match value {
+            Value::Array(items) if items.len() == len => Ok(items),
+            Value::Array(items) => Err(DeError::custom(format!(
+                "expected `{ty}` as an array of {len} elements, found {}",
+                items.len()
+            ))),
+            other => Err(DeError::custom(format!(
+                "expected `{ty}` as an array, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Splits an enum encoding into `(variant_name, payload)`.
+    ///
+    /// Unit variants serialize as a bare string (payload `None`); data
+    /// variants as a single-entry object `{variant: payload}`.
+    pub fn variant<'v>(
+        value: &'v Value,
+        ty: &str,
+    ) -> Result<(&'v str, Option<&'v Value>), DeError> {
+        match value {
+            Value::Str(s) => Ok((s.as_str(), None)),
+            Value::Object(entries) if entries.len() == 1 => {
+                Ok((entries[0].0.as_str(), Some(&entries[0].1)))
+            }
+            other => Err(DeError::custom(format!(
+                "expected enum `{ty}` as a string or single-entry object, found {}",
+                other.kind()
+            ))),
+        }
     }
 }

@@ -8,8 +8,9 @@
 //!
 //! `#[derive(Serialize)]` emits an implementation of the vendored
 //! `serde::Serialize` trait (which renders to `serde::Value`);
-//! `#[derive(Deserialize)]` emits an empty marker implementation —
-//! nothing in the workspace deserializes at run time.
+//! `#[derive(Deserialize)]` emits the mirrored `serde::Deserialize`
+//! implementation reconstructing the type from the same `serde::Value`
+//! encoding, so every derived type round-trips.
 
 #![warn(missing_docs)]
 
@@ -36,13 +37,96 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     .expect("serde_derive: generated impl parses")
 }
 
-/// Derives the vendored `serde::Deserialize` marker trait.
+/// Derives the vendored `serde::Deserialize` trait.
 #[proc_macro_derive(Deserialize)]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let item = parse_item(input);
-    format!("impl serde::Deserialize for {} {{}}", item.name)
-        .parse()
-        .expect("serde_derive: generated impl parses")
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::UnitStruct => format!(
+            "match value {{\n\
+                 serde::Value::Null => Ok({name}),\n\
+                 other => Err(serde::DeError::type_mismatch(\"null\", other)),\n\
+             }}"
+        ),
+        Shape::TupleStruct(n) => de_tuple_body(name, name, *n, "value"),
+        Shape::NamedStruct(fields) => de_named_body(name, name, fields, "value"),
+        Shape::Enum(variants) => de_enum_body(name, variants),
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+             fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("serde_derive: generated impl parses")
+}
+
+/// Deserialization expression for a tuple shape: `ctor` is the
+/// constructor path, `label` the error-message name, `src` the
+/// expression holding `&serde::Value`.
+fn de_tuple_body(label: &str, ctor: &str, n: usize, src: &str) -> String {
+    if n == 1 {
+        // Newtypes serialize transparently.
+        format!("Ok({ctor}(serde::Deserialize::from_value({src})?))")
+    } else {
+        let items: Vec<String> = (0..n)
+            .map(|i| format!("serde::Deserialize::from_value(&items[{i}])?"))
+            .collect();
+        format!(
+            "{{ let items = serde::de::array({src}, {n}, \"{label}\")?;\n\
+                Ok({ctor}({items})) }}",
+            items = items.join(", ")
+        )
+    }
+}
+
+/// Deserialization expression for a named-field shape.
+fn de_named_body(label: &str, ctor: &str, fields: &[String], src: &str) -> String {
+    let items: Vec<String> = fields
+        .iter()
+        .map(|f| format!("{f}: serde::de::field(entries, \"{f}\", \"{label}\")?"))
+        .collect();
+    format!(
+        "{{ let entries = serde::de::object({src}, \"{label}\")?;\n\
+            Ok({ctor} {{ {items} }}) }}",
+        items = items.join(", ")
+    )
+}
+
+fn de_enum_body(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for v in variants {
+        let vname = &v.name;
+        let label = format!("{name}::{vname}");
+        let arm = match &v.shape {
+            VariantShape::Unit => format!(
+                "(\"{vname}\", None) => Ok({name}::{vname}),\n\
+                 (\"{vname}\", Some(_)) => Err(serde::DeError::custom(\n\
+                     \"variant `{vname}` of `{name}` carries no data\")),\n"
+            ),
+            VariantShape::Tuple(n) => format!(
+                "(\"{vname}\", Some(payload)) => {body},\n\
+                 (\"{vname}\", None) => Err(serde::DeError::custom(\n\
+                     \"variant `{vname}` of `{name}` expects data\")),\n",
+                body = de_tuple_body(&label, &format!("{name}::{vname}"), *n, "payload")
+            ),
+            VariantShape::Named(fields) => format!(
+                "(\"{vname}\", Some(payload)) => {body},\n\
+                 (\"{vname}\", None) => Err(serde::DeError::custom(\n\
+                     \"variant `{vname}` of `{name}` expects data\")),\n",
+                body = de_named_body(&label, &format!("{name}::{vname}"), fields, "payload")
+            ),
+        };
+        arms.push_str(&arm);
+    }
+    format!(
+        "{{ let (variant, payload) = serde::de::variant(value, \"{name}\")?;\n\
+            match (variant, payload) {{\n\
+                {arms}\
+                (other, _) => Err(serde::DeError::unknown_variant(\"{name}\", other)),\n\
+            }} }}"
+    )
 }
 
 fn tuple_struct_body(n: usize) -> String {

@@ -1,28 +1,377 @@
-//! Minimal, dependency-free stand-in for `serde_json` (emit only).
+//! Minimal, dependency-free stand-in for `serde_json`.
 //!
-//! Supports exactly what the QCCD workspace uses: [`to_string`],
-//! [`to_string_pretty`] and the [`json!`] object-literal macro, all
-//! driven by the vendored `serde::Serialize` trait's [`Value`] tree.
-//! There is no parser — nothing in the workspace reads JSON back.
+//! Supports what the QCCD workspace uses: [`to_string`],
+//! [`to_string_pretty`] and the [`json!`] object-literal macro on the
+//! emit side, and [`from_str`] (a full JSON parser with line/column
+//! error positions) on the read side, all driven by the vendored
+//! `serde::Serialize`/`serde::Deserialize` traits' [`Value`] tree.
+//!
+//! Floats are emitted as Rust's shortest round-trippable decimal (with
+//! the real crate's "always include a decimal point" rule), so
+//! `from_str(&to_string(&x))` recovers `x` bit-for-bit for every finite
+//! `f64`. Workspace code that needs the same canonical float text for
+//! non-JSON output goes through `qccd_sim::canonical_float`, which is
+//! defined in terms of [`to_string`] — this stub deliberately adds no
+//! public API the real `serde_json` lacks, keeping the vendored →
+//! crates.io swap drop-in.
 
 #![warn(missing_docs)]
 
 pub use serde::Value;
 
-/// Error type for serialization.
+/// Error from serialization or deserialization.
 ///
-/// The stub's emitter is infallible, so this is never constructed; it
-/// exists to keep `Result`-shaped signatures compatible with the real
-/// crate.
-#[derive(Debug)]
-pub struct Error(());
+/// Syntax errors carry the 1-based line and column of the offending
+/// character; data errors (well-formed JSON of the wrong shape) carry
+/// the underlying [`serde::DeError`] message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error {
+    kind: ErrorKind,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum ErrorKind {
+    Syntax {
+        line: usize,
+        column: usize,
+        message: String,
+    },
+    Data(String),
+}
+
+impl Error {
+    fn syntax(line: usize, column: usize, message: impl Into<String>) -> Self {
+        Error {
+            kind: ErrorKind::Syntax {
+                line,
+                column,
+                message: message.into(),
+            },
+        }
+    }
+
+    fn data(e: serde::DeError) -> Self {
+        Error {
+            kind: ErrorKind::Data(e.message().to_owned()),
+        }
+    }
+
+    /// 1-based line of a syntax error (`None` for data errors).
+    pub fn line(&self) -> Option<usize> {
+        match &self.kind {
+            ErrorKind::Syntax { line, .. } => Some(*line),
+            ErrorKind::Data(_) => None,
+        }
+    }
+
+    /// 1-based column of a syntax error (`None` for data errors).
+    pub fn column(&self) -> Option<usize> {
+        match &self.kind {
+            ErrorKind::Syntax { column, .. } => Some(*column),
+            ErrorKind::Data(_) => None,
+        }
+    }
+
+    /// Whether this is a data (shape) error rather than a syntax error.
+    pub fn is_data(&self) -> bool {
+        matches!(self.kind, ErrorKind::Data(_))
+    }
+}
 
 impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("serde_json stub error")
+        match &self.kind {
+            ErrorKind::Syntax {
+                line,
+                column,
+                message,
+            } => write!(f, "{message} at line {line} column {column}"),
+            ErrorKind::Data(message) => f.write_str(message),
+        }
     }
 }
 impl std::error::Error for Error {}
+
+/// Parses a JSON document into any [`serde::Deserialize`] type.
+///
+/// Use `from_str::<Value>` to inspect arbitrary JSON.
+///
+/// # Errors
+///
+/// Returns a syntax [`Error`] (with line/column) for malformed JSON, or
+/// a data [`Error`] when the document is well-formed but does not match
+/// `T`'s encoding.
+///
+/// # Example
+///
+/// ```
+/// let v: serde_json::Value = serde_json::from_str("[1, 2.5, \"x\"]").unwrap();
+/// let xs: Vec<f64> = serde_json::from_str("[1, 2.5]").unwrap();
+/// assert_eq!(xs, vec![1.0, 2.5]);
+/// assert!(matches!(v, serde_json::Value::Array(_)));
+/// ```
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T, Error> {
+    let value = parse_value(s)?;
+    T::from_value(&value).map_err(Error::data)
+}
+
+/// Maximum nesting depth accepted by the parser (arrays + objects).
+const MAX_DEPTH: usize = 128;
+
+fn parse_value(s: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        chars: s.chars().collect(),
+        pos: 0,
+        line: 1,
+        column: 1,
+    };
+    p.skip_whitespace();
+    let value = p.value(0)?;
+    p.skip_whitespace();
+    if p.pos < p.chars.len() {
+        return Err(p.error("trailing characters"));
+    }
+    Ok(value)
+}
+
+struct Parser {
+    chars: Vec<char>,
+    pos: usize,
+    line: usize,
+    column: usize,
+}
+
+impl Parser {
+    fn error(&self, message: impl Into<String>) -> Error {
+        Error::syntax(self.line, self.column, message)
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.column = 1;
+        } else {
+            self.column += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(' ' | '\t' | '\n' | '\r')) {
+            self.bump();
+        }
+    }
+
+    fn expect_char(&mut self, expected: char) -> Result<(), Error> {
+        match self.bump() {
+            Some(c) if c == expected => Ok(()),
+            Some(c) => Err(self.error(format!("expected `{expected}`, found `{c}`"))),
+            None => Err(self.error(format!("expected `{expected}`, found end of input"))),
+        }
+    }
+
+    /// Consumes a keyword (`null`, `true`, `false`) whose first char has
+    /// already been seen via peek.
+    fn keyword(&mut self, word: &str) -> Result<(), Error> {
+        for expected in word.chars() {
+            match self.bump() {
+                Some(c) if c == expected => {}
+                _ => return Err(self.error(format!("invalid literal (expected `{word}`)"))),
+            }
+        }
+        Ok(())
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, Error> {
+        if depth > MAX_DEPTH {
+            return Err(self.error("recursion limit exceeded"));
+        }
+        match self.peek() {
+            None => Err(self.error("unexpected end of input, expected a value")),
+            Some('n') => self.keyword("null").map(|()| Value::Null),
+            Some('t') => self.keyword("true").map(|()| Value::Bool(true)),
+            Some('f') => self.keyword("false").map(|()| Value::Bool(false)),
+            Some('"') => self.string().map(Value::Str),
+            Some('[') => self.array(depth),
+            Some('{') => self.object(depth),
+            Some(c) if c == '-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(self.error(format!("unexpected character `{c}`"))),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, Error> {
+        self.expect_char('[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(']') {
+            self.bump();
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.value(depth + 1)?);
+            self.skip_whitespace();
+            match self.bump() {
+                Some(',') => {}
+                Some(']') => return Ok(Value::Array(items)),
+                Some(c) => return Err(self.error(format!("expected `,` or `]`, found `{c}`"))),
+                None => return Err(self.error("unexpected end of input inside array")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, Error> {
+        self.expect_char('{')?;
+        let mut entries = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some('}') {
+            self.bump();
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_whitespace();
+            if self.peek() != Some('"') {
+                return Err(self.error("expected a string object key"));
+            }
+            let key = self.string()?;
+            self.skip_whitespace();
+            self.expect_char(':')?;
+            self.skip_whitespace();
+            let value = self.value(depth + 1)?;
+            entries.push((key, value));
+            self.skip_whitespace();
+            match self.bump() {
+                Some(',') => {}
+                Some('}') => return Ok(Value::Object(entries)),
+                Some(c) => return Err(self.error(format!("expected `,` or `}}`, found `{c}`"))),
+                None => return Err(self.error("unexpected end of input inside object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.expect_char('"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.error("unterminated string")),
+                Some('"') => return Ok(out),
+                Some('\\') => match self.bump() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('b') => out.push('\u{0008}'),
+                    Some('f') => out.push('\u{000c}'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('u') => {
+                        let first = self.hex4()?;
+                        let c = if (0xD800..0xDC00).contains(&first) {
+                            // High surrogate: require a paired \uXXXX low
+                            // surrogate.
+                            if self.bump() != Some('\\') || self.bump() != Some('u') {
+                                return Err(self.error("unpaired surrogate in \\u escape"));
+                            }
+                            let second = self.hex4()?;
+                            if !(0xDC00..0xE000).contains(&second) {
+                                return Err(self.error("invalid low surrogate in \\u escape"));
+                            }
+                            let code = 0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00);
+                            char::from_u32(code).ok_or_else(|| self.error("invalid \\u escape"))?
+                        } else {
+                            char::from_u32(first)
+                                .ok_or_else(|| self.error("unpaired surrogate in \\u escape"))?
+                        };
+                        out.push(c);
+                    }
+                    Some(c) => return Err(self.error(format!("invalid escape `\\{c}`"))),
+                    None => return Err(self.error("unterminated string")),
+                },
+                Some(c) if (c as u32) < 0x20 => {
+                    return Err(self.error("control character in string"))
+                }
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let c = self
+                .bump()
+                .ok_or_else(|| self.error("truncated \\u escape"))?;
+            let digit = c
+                .to_digit(16)
+                .ok_or_else(|| self.error(format!("invalid hex digit `{c}` in \\u escape")))?;
+            code = code * 16 + digit;
+        }
+        Ok(code)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let mut text = String::new();
+        let negative = self.peek() == Some('-');
+        if negative {
+            text.push(self.bump().expect("peeked"));
+        }
+        // Integer part: `0` or a nonzero digit followed by digits.
+        match self.peek() {
+            Some('0') => text.push(self.bump().expect("peeked")),
+            Some(c) if c.is_ascii_digit() => {
+                while matches!(self.peek(), Some(d) if d.is_ascii_digit()) {
+                    text.push(self.bump().expect("peeked"));
+                }
+            }
+            _ => return Err(self.error("expected a digit in number")),
+        }
+        let mut integral = true;
+        if self.peek() == Some('.') {
+            integral = false;
+            text.push(self.bump().expect("peeked"));
+            if !matches!(self.peek(), Some(d) if d.is_ascii_digit()) {
+                return Err(self.error("expected a digit after decimal point"));
+            }
+            while matches!(self.peek(), Some(d) if d.is_ascii_digit()) {
+                text.push(self.bump().expect("peeked"));
+            }
+        }
+        if matches!(self.peek(), Some('e' | 'E')) {
+            integral = false;
+            text.push(self.bump().expect("peeked"));
+            if matches!(self.peek(), Some('+' | '-')) {
+                text.push(self.bump().expect("peeked"));
+            }
+            if !matches!(self.peek(), Some(d) if d.is_ascii_digit()) {
+                return Err(self.error("expected a digit in exponent"));
+            }
+            while matches!(self.peek(), Some(d) if d.is_ascii_digit()) {
+                text.push(self.bump().expect("peeked"));
+            }
+        }
+        if integral {
+            // Mirror serde_json: integers keep their integer identity,
+            // overflowing literals degrade to floats.
+            if negative {
+                if let Ok(i) = text.parse::<i64>() {
+                    return Ok(Value::Int(i));
+                }
+            } else if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| self.error(format!("invalid number `{text}`")))
+    }
+}
 
 /// Renders any serializable value into its [`Value`] tree.
 pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Value {
@@ -134,19 +483,26 @@ fn newline(out: &mut String, indent: Option<usize>, depth: usize) {
     }
 }
 
-fn write_float(out: &mut String, f: f64) {
+/// The canonical text form of an `f64`: shortest decimal that parses
+/// back to the same bits, with serde_json's "always include a decimal
+/// point" rule for round numbers, so `from_str(&canonical_float(x)) ==
+/// x`. Non-finite floats render as `null` (serde_json's default).
+/// Private: the public spelling is `to_string(&x)`, which the real
+/// crate also supports.
+fn canonical_float(f: f64) -> String {
     if f.is_finite() {
-        let s = f.to_string();
-        out.push_str(&s);
-        // JSON has no integer/float distinction, but mirror serde_json's
-        // "always include a decimal point" behavior for round numbers.
+        let mut s = f.to_string();
         if !s.contains('.') && !s.contains('e') && !s.contains('E') {
-            out.push_str(".0");
+            s.push_str(".0");
         }
+        s
     } else {
-        // Like serde_json's default, non-finite floats become null.
-        out.push_str("null");
+        "null".to_owned()
     }
+}
+
+fn write_float(out: &mut String, f: f64) {
+    out.push_str(&canonical_float(f));
 }
 
 fn write_string(out: &mut String, s: &str) {
@@ -230,5 +586,221 @@ mod tests {
             to_string(&Mixed::Fields { x: -3 }).unwrap(),
             r#"{"Fields":{"x":-3}}"#
         );
+    }
+
+    // -----------------------------------------------------------------
+    // Parser
+    // -----------------------------------------------------------------
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(from_str::<Value>("null").unwrap(), Value::Null);
+        assert!(from_str::<bool>("true").unwrap());
+        assert!(!from_str::<bool>("false").unwrap());
+        assert_eq!(from_str::<Value>("42").unwrap(), Value::UInt(42));
+        assert_eq!(from_str::<Value>("-7").unwrap(), Value::Int(-7));
+        assert_eq!(from_str::<Value>("2.5e3").unwrap(), Value::Float(2500.0));
+        assert_eq!(from_str::<u32>(" 17 ").unwrap(), 17);
+        assert_eq!(from_str::<f64>("-0.125").unwrap(), -0.125);
+        assert_eq!(from_str::<String>(r#""hi""#).unwrap(), "hi");
+    }
+
+    #[test]
+    fn parses_containers() {
+        let v: Vec<Vec<u32>> = from_str("[[1,2],[3],[]]").unwrap();
+        assert_eq!(v, vec![vec![1, 2], vec![3], vec![]]);
+        let v: Value = from_str(r#"{"a": [true, null], "b": {}}"#).unwrap();
+        assert_eq!(
+            v.get("a"),
+            Some(&Value::Array(vec![Value::Bool(true), Value::Null]))
+        );
+        assert_eq!(v.get("b"), Some(&Value::Object(vec![])));
+        let opt: Vec<Option<f64>> = from_str("[1.5, null]").unwrap();
+        assert_eq!(opt, vec![Some(1.5), None]);
+    }
+
+    #[test]
+    fn parses_string_escapes() {
+        let s: String = from_str(r#""a\"b\\c\/d\n\tAé""#).unwrap();
+        assert_eq!(s, "a\"b\\c/d\n\tAé");
+        // Surrogate pair: U+1D11E (musical G clef).
+        let s: String = from_str(r#""𝄞""#).unwrap();
+        assert_eq!(s, "\u{1D11E}");
+        assert!(from_str::<String>(r#""\ud834""#).is_err());
+        assert!(from_str::<String>(r#""\q""#).is_err());
+    }
+
+    #[test]
+    fn syntax_errors_carry_line_and_column() {
+        let err = from_str::<Value>("{\n  \"a\": 1,\n  oops\n}").unwrap_err();
+        assert_eq!(err.line(), Some(3));
+        assert!(err.column().unwrap() >= 3, "column {:?}", err.column());
+        assert!(err.to_string().contains("line 3"));
+
+        let err = from_str::<Value>("[1, 2").unwrap_err();
+        assert_eq!(err.line(), Some(1));
+        assert!(!err.is_data());
+    }
+
+    #[test]
+    fn malformed_documents_are_rejected() {
+        for bad in [
+            "",
+            "tru",
+            "01",
+            "1.",
+            "1e",
+            "+1",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "{a: 1}",
+            "\"unterminated",
+            "[1] extra",
+            "nullx",
+        ] {
+            assert!(from_str::<Value>(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn data_errors_name_the_problem() {
+        let err = from_str::<Vec<u32>>("[1, -2]").unwrap_err();
+        assert!(err.is_data());
+        assert!(err.line().is_none());
+        assert!(err.to_string().contains("out of range"));
+        assert!(from_str::<bool>("7").unwrap_err().is_data());
+    }
+
+    #[test]
+    fn deep_nesting_is_bounded_not_a_stack_overflow() {
+        let deep = "[".repeat(10_000) + &"]".repeat(10_000);
+        assert!(from_str::<Value>(&deep).is_err());
+        let ok = "[".repeat(100) + &"]".repeat(100);
+        assert!(from_str::<Value>(&ok).is_ok());
+    }
+
+    #[test]
+    fn integer_identity_is_preserved() {
+        assert_eq!(
+            from_str::<Value>("9007199254740993").unwrap(),
+            Value::UInt(9007199254740993)
+        );
+        assert_eq!(
+            from_str::<Value>("18446744073709551615").unwrap(),
+            Value::UInt(u64::MAX)
+        );
+        // Beyond u64: degrades to float like the real crate's default.
+        assert!(matches!(
+            from_str::<Value>("18446744073709551616").unwrap(),
+            Value::Float(_)
+        ));
+        assert_eq!(
+            from_str::<Value>("-9223372036854775808").unwrap(),
+            Value::Int(i64::MIN)
+        );
+    }
+
+    #[test]
+    fn derived_types_round_trip() {
+        #[derive(Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+        struct Named {
+            a: u32,
+            b: Vec<(String, f64)>,
+            c: Option<i64>,
+        }
+        #[derive(Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+        struct Newtype(f64);
+        #[derive(Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+        struct Pair(u8, String);
+        #[derive(Debug, PartialEq, serde::Serialize, serde::Deserialize)]
+        enum Mixed {
+            Unit,
+            New(u32),
+            Tup(u8, u8),
+            Fields { x: i32, y: Newtype },
+        }
+
+        let named = Named {
+            a: 7,
+            b: vec![("k".into(), 0.5)],
+            c: None,
+        };
+        assert_eq!(
+            from_str::<Named>(&to_string(&named).unwrap()).unwrap(),
+            named
+        );
+        assert_eq!(
+            from_str::<Pair>(&to_string(&Pair(3, "z".into())).unwrap()).unwrap(),
+            Pair(3, "z".into())
+        );
+        for m in [
+            Mixed::Unit,
+            Mixed::New(9),
+            Mixed::Tup(1, 2),
+            Mixed::Fields {
+                x: -4,
+                y: Newtype(2.25),
+            },
+        ] {
+            assert_eq!(from_str::<Mixed>(&to_string(&m).unwrap()).unwrap(), m);
+        }
+        // Shape mismatches are data errors, not panics.
+        assert!(from_str::<Named>(r#"{"a": 1}"#).unwrap_err().is_data());
+        assert!(from_str::<Mixed>(r#""Nope""#).unwrap_err().is_data());
+        assert!(from_str::<Mixed>(r#"{"Unit": 1}"#).unwrap_err().is_data());
+        assert!(from_str::<Mixed>(r#""Tup""#).unwrap_err().is_data());
+    }
+
+    #[test]
+    fn pretty_output_reparses_identically() {
+        let v = json!({"name": "l6", "caps": vec![14u32, 20, 26], "nested": json!({"x": 1.5})});
+        let compact: Value = from_str(&to_string(&v).unwrap()).unwrap();
+        let pretty: Value = from_str(&to_string_pretty(&v).unwrap()).unwrap();
+        assert_eq!(compact, v);
+        assert_eq!(pretty, v);
+    }
+
+    #[test]
+    fn canonical_floats_round_trip_exactly() {
+        // Deterministic pseudo-random bit patterns (splitmix64) plus
+        // hand-picked edge cases: parsing the canonical text must
+        // recover the exact bits.
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        let mut cases: Vec<f64> = vec![
+            0.0,
+            -0.0,
+            1.0,
+            -1.0,
+            0.1,
+            2.0 / 3.0,
+            1e-300,
+            -1e300,
+            f64::MIN_POSITIVE,
+            f64::MAX,
+            std::f64::consts::PI,
+            0.30504420999999804, // a real artifact value
+        ];
+        for _ in 0..512 {
+            let f = f64::from_bits(next());
+            if f.is_finite() {
+                cases.push(f);
+            }
+        }
+        for x in cases {
+            let text = canonical_float(x);
+            let back: f64 = from_str(&text).expect(&text);
+            assert_eq!(back.to_bits(), x.to_bits(), "drift for {x:?} via {text}");
+            // And through the full serializer too.
+            let back: f64 = from_str(&to_string(&x).unwrap()).unwrap();
+            assert_eq!(back.to_bits(), x.to_bits());
+        }
     }
 }
