@@ -1,10 +1,11 @@
 //! Criterion benchmarks of individual compiler stages: mapping, routing
-//! and full compilation, plus OpenQASM parsing.
+//! (fresh Dijkstra vs the memoized all-pairs [`RouteCache`]) and full
+//! compilation, plus OpenQASM parsing.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use qccd_circuit::{generators, qasm};
 use qccd_compiler::{compile, initial_map, CompilerConfig};
-use qccd_device::{presets, TrapId};
+use qccd_device::{presets, RouteCache, TrapId};
 
 fn bench_mapping(c: &mut Criterion) {
     let circuit = generators::qft(64);
@@ -23,6 +24,36 @@ fn bench_routing(c: &mut Criterion) {
     c.bench_function("route/g2x3_diagonal", |b| {
         b.iter(|| grid.route(TrapId(0), TrapId(5)).expect("connected"));
     });
+}
+
+/// The satellite speedup demonstration: querying every ordered trap pair
+/// of the G2x3 grid, recomputing Dijkstra per query (what the compiler
+/// did per gate before the cache) versus hitting the warm memo (what the
+/// routing/eviction policies do now).
+fn bench_route_cache(c: &mut Criterion) {
+    let grid = presets::g2x3(20);
+    let pairs: Vec<(TrapId, TrapId)> = grid
+        .trap_ids()
+        .flat_map(|a| grid.trap_ids().map(move |b| (a, b)))
+        .filter(|(a, b)| a != b)
+        .collect();
+    let mut group = c.benchmark_group("route_cache");
+    group.bench_function("g2x3_all_pairs/uncached", |b| {
+        b.iter(|| {
+            for &(from, to) in &pairs {
+                black_box(grid.route(from, to).expect("connected"));
+            }
+        });
+    });
+    let cache = RouteCache::new(&grid);
+    group.bench_function("g2x3_all_pairs/cached", |b| {
+        b.iter(|| {
+            for &(from, to) in &pairs {
+                black_box(cache.route(from, to).expect("connected"));
+            }
+        });
+    });
+    group.finish();
 }
 
 fn bench_compile(c: &mut Criterion) {
@@ -53,6 +84,7 @@ criterion_group!(
     benches,
     bench_mapping,
     bench_routing,
+    bench_route_cache,
     bench_compile,
     bench_qasm
 );

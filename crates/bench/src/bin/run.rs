@@ -4,19 +4,36 @@
 //! ```text
 //! cargo run --release -p qccd-bench --bin run -- \
 //!     --device examples/devices/l6_cap20.json \
-//!     [--config cfg.json] [--model model.json] [--json report.json]
+//!     [--config cfg.json] [--model model.json] [--json report.json] \
+//!     [--mapping round-robin|usage-weighted] \
+//!     [--routing greedy-shortest|lookahead-congestion] \
+//!     [--reorder gs|is] [--eviction furthest-next-use|chain-end]
 //! ```
 //!
-//! Prints one row per benchmark (time, fidelity, op counts); infeasible
-//! programs report their compile error instead of aborting the run.
-//! `--json` additionally dumps the full per-benchmark `SimReport`s.
+//! The policy flags select the compiler pipeline's seams directly (they
+//! override any `--config` file). Prints one row per benchmark (time,
+//! fidelity, op counts); infeasible programs report their compile error
+//! instead of aborting the run. `--json` additionally dumps the full
+//! per-benchmark `SimReport`s.
 
 use qccd::Toolflow;
 use qccd_circuit::generators::Benchmark;
+use qccd_compiler::Pipeline;
 
 fn main() {
     let args = qccd_bench::HarnessArgs::parse();
-    args.forbid("run", &["--device", "--config", "--model"]);
+    args.forbid(
+        "run",
+        &[
+            "--device",
+            "--config",
+            "--model",
+            "--mapping",
+            "--routing",
+            "--reorder",
+            "--eviction",
+        ],
+    );
     let Some(device) = args.load_device() else {
         eprintln!("error: `run` requires --device <file.json>");
         eprintln!("       (see examples/devices/ and the README's \"Custom devices from JSON\")");
@@ -27,8 +44,9 @@ fn main() {
 
     println!("device: {device}");
     println!(
-        "config: {} reordering, {} buffer slots; gates: {}",
-        config.reorder, config.buffer_slots, model.gate_impl
+        "config: {}; gates: {}",
+        Pipeline::from_config(&config).describe(),
+        model.gate_impl
     );
     println!(
         "{:<14}{:>10}{:>12}{:>9}{:>9}{:>9}",

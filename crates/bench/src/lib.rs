@@ -1,8 +1,8 @@
 //! Shared harness utilities for the table/figure regeneration binaries.
 //!
 //! Each binary (`table1`, `table2`, `fig6`, `fig7`, `fig8`, `all`,
-//! `run`) prints the paper artifact as CSV-like text and can
-//! additionally dump JSON:
+//! `run`, `ablations`) prints the paper artifact as CSV-like text and
+//! can additionally dump JSON:
 //!
 //! ```text
 //! cargo run --release -p qccd-bench --bin fig6            # full sweep
@@ -12,17 +12,21 @@
 //!
 //! Device descriptions, compiler configs and physical models can be
 //! loaded from JSON files instead of the built-in presets where a study
-//! supports it:
+//! supports it, and the compiler's policy seams can be selected
+//! directly from the command line on the `run` and `ablations` bins:
 //!
 //! ```text
 //! cargo run --release -p qccd-bench --bin run  -- --device examples/devices/l6_cap20.json
+//! cargo run --release -p qccd-bench --bin run  -- \
+//!     --device examples/devices/l6_cap20.json \
+//!     --mapping usage-weighted --routing lookahead-congestion --eviction chain-end
 //! cargo run --release -p qccd-bench --bin fig6 -- --device my_topology.json --quick
 //! ```
 
 #![warn(missing_docs)]
 
 use qccd::experiments::{PAPER_CAPACITIES, QUICK_CAPACITIES};
-use qccd_compiler::CompilerConfig;
+use qccd_compiler::{CompilerConfig, EvictionKind, MappingKind, ReorderMethod, RoutingKind};
 use qccd_device::Device;
 use qccd_physics::PhysicalModel;
 use serde::Serialize;
@@ -43,48 +47,82 @@ pub struct HarnessArgs {
     pub config: Option<PathBuf>,
     /// JSON physical model replacing the study's default.
     pub model: Option<PathBuf>,
+    /// Mapping-policy override (pipeline seam 1).
+    pub mapping: Option<MappingKind>,
+    /// Routing-policy override (pipeline seam 2).
+    pub routing: Option<RoutingKind>,
+    /// Reorder-policy override (pipeline seam 3).
+    pub reorder: Option<ReorderMethod>,
+    /// Eviction-policy override (pipeline seam 4).
+    pub eviction: Option<EvictionKind>,
 }
 
 impl HarnessArgs {
     /// Parses `std::env::args()`. Unknown flags abort with a usage
     /// message.
     pub fn parse() -> Self {
+        Self::parse_from(std::env::args().skip(1)).unwrap_or_else(|message| usage(&message))
+    }
+
+    /// Parses an explicit argument list; returns the usage-error message
+    /// instead of aborting (testable core of [`HarnessArgs::parse`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the human-readable message for a malformed or unknown
+    /// flag; unknown policy names list the accepted spellings.
+    pub fn parse_from<I>(args: I) -> Result<Self, String>
+    where
+        I: IntoIterator<Item = String>,
+    {
         let mut out = HarnessArgs::default();
-        let mut args = std::env::args().skip(1);
+        let mut args = args.into_iter();
         while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--quick" => out.quick = true,
                 "--caps" => {
-                    let list = args.next().unwrap_or_else(|| usage("--caps needs a value"));
+                    let list = args.next().ok_or("--caps needs a value")?;
                     let caps: Result<Vec<u32>, _> =
                         list.split(',').map(|s| s.trim().parse()).collect();
-                    out.caps = Some(caps.unwrap_or_else(|_| usage("--caps expects e.g. 14,22,30")));
+                    out.caps = Some(caps.map_err(|_| "--caps expects e.g. 14,22,30")?);
                 }
                 "--json" => {
-                    let path = args.next().unwrap_or_else(|| usage("--json needs a path"));
+                    let path = args.next().ok_or("--json needs a path")?;
                     out.json = Some(PathBuf::from(path));
                 }
                 "--device" => {
-                    let path = args
-                        .next()
-                        .unwrap_or_else(|| usage("--device needs a path"));
+                    let path = args.next().ok_or("--device needs a path")?;
                     out.device = Some(PathBuf::from(path));
                 }
                 "--config" => {
-                    let path = args
-                        .next()
-                        .unwrap_or_else(|| usage("--config needs a path"));
+                    let path = args.next().ok_or("--config needs a path")?;
                     out.config = Some(PathBuf::from(path));
                 }
                 "--model" => {
-                    let path = args.next().unwrap_or_else(|| usage("--model needs a path"));
+                    let path = args.next().ok_or("--model needs a path")?;
                     out.model = Some(PathBuf::from(path));
                 }
-                "--help" | "-h" => usage(""),
-                other => usage(&format!("unknown flag `{other}`")),
+                "--mapping" => {
+                    let name = args.next().ok_or("--mapping needs a policy name")?;
+                    out.mapping = Some(name.parse().map_err(|e| format!("{e}"))?);
+                }
+                "--routing" => {
+                    let name = args.next().ok_or("--routing needs a policy name")?;
+                    out.routing = Some(name.parse().map_err(|e| format!("{e}"))?);
+                }
+                "--reorder" => {
+                    let name = args.next().ok_or("--reorder needs a policy name")?;
+                    out.reorder = Some(name.parse().map_err(|e| format!("{e}"))?);
+                }
+                "--eviction" => {
+                    let name = args.next().ok_or("--eviction needs a policy name")?;
+                    out.eviction = Some(name.parse().map_err(|e| format!("{e}"))?);
+                }
+                "--help" | "-h" => return Err(String::new()),
+                other => return Err(format!("unknown flag `{other}`")),
             }
         }
-        out
+        Ok(out)
     }
 
     /// The capacity sweep to run.
@@ -106,13 +144,34 @@ impl HarnessArgs {
         })
     }
 
-    /// Loads the `--config` file, or the default compiler config.
+    /// Loads the `--config` file (or the default compiler config), then
+    /// applies any `--mapping`/`--routing`/`--reorder`/`--eviction`
+    /// policy overrides on top.
     pub fn load_config_or_default(&self) -> CompilerConfig {
-        self.config
+        let base = self
+            .config
             .as_deref()
             .map_or_else(CompilerConfig::default, |path| {
                 CompilerConfig::from_json(&read(path)).unwrap_or_else(|e| die(path, &e.to_string()))
-            })
+            });
+        self.apply_policies(base)
+    }
+
+    /// Applies the CLI policy overrides to `config`.
+    pub fn apply_policies(&self, mut config: CompilerConfig) -> CompilerConfig {
+        if let Some(mapping) = self.mapping {
+            config.mapping = mapping;
+        }
+        if let Some(routing) = self.routing {
+            config.routing = routing;
+        }
+        if let Some(reorder) = self.reorder {
+            config.reorder = reorder;
+        }
+        if let Some(eviction) = self.eviction {
+            config.eviction = eviction;
+        }
+        config
     }
 
     /// Loads the `--model` file, or the paper's default physical model.
@@ -135,6 +194,10 @@ impl HarnessArgs {
             ("--device", self.device.is_some()),
             ("--config", self.config.is_some()),
             ("--model", self.model.is_some()),
+            ("--mapping", self.mapping.is_some()),
+            ("--routing", self.routing.is_some()),
+            ("--reorder", self.reorder.is_some()),
+            ("--eviction", self.eviction.is_some()),
         ] {
             if given && !supported.contains(&flag) {
                 let hint = if supported.is_empty() {
@@ -165,7 +228,11 @@ fn usage(message: &str) -> ! {
     }
     eprintln!(
         "usage: <bin> [--quick] [--caps 14,22,30] [--json out.json] \
-         [--device dev.json] [--config cfg.json] [--model model.json]"
+         [--device dev.json] [--config cfg.json] [--model model.json] \
+         [--mapping round-robin|usage-weighted] \
+         [--routing greedy-shortest|lookahead-congestion] \
+         [--reorder gs|is] \
+         [--eviction furthest-next-use|chain-end]"
     );
     std::process::exit(if message.is_empty() { 0 } else { 2 });
 }
@@ -187,6 +254,10 @@ pub fn emit<T: std::fmt::Display + Serialize>(artifact: &T, json: Option<&Path>)
 mod tests {
     use super::*;
 
+    fn parse(args: &[&str]) -> Result<HarnessArgs, String> {
+        HarnessArgs::parse_from(args.iter().map(|s| s.to_string()))
+    }
+
     #[test]
     fn capacities_default_quick_and_explicit() {
         let default = HarnessArgs::default();
@@ -202,5 +273,52 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(explicit.capacities(), vec![10, 12]);
+    }
+
+    #[test]
+    fn policy_flags_parse_every_spelling() {
+        let args = parse(&[
+            "--mapping",
+            "usage-weighted",
+            "--routing",
+            "LC",
+            "--reorder",
+            "IonSwap",
+            "--eviction",
+            "chain_end",
+        ])
+        .unwrap();
+        assert_eq!(args.mapping, Some(MappingKind::UsageWeighted));
+        assert_eq!(args.routing, Some(RoutingKind::LookaheadCongestion));
+        assert_eq!(args.reorder, Some(ReorderMethod::IonSwap));
+        assert_eq!(args.eviction, Some(EvictionKind::ChainEnd));
+    }
+
+    #[test]
+    fn unknown_policy_names_report_the_accepted_set() {
+        let err = parse(&["--routing", "warp"]).unwrap_err();
+        assert!(err.contains("warp"), "{err}");
+        assert!(err.contains("greedy-shortest"), "{err}");
+        assert!(err.contains("lookahead-congestion"), "{err}");
+        let err = parse(&["--mapping"]).unwrap_err();
+        assert!(err.contains("--mapping needs"), "{err}");
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected() {
+        assert!(parse(&["--frobnicate"])
+            .unwrap_err()
+            .contains("--frobnicate"));
+    }
+
+    #[test]
+    fn apply_policies_overrides_only_given_seams() {
+        let args = parse(&["--routing", "lookahead-congestion"]).unwrap();
+        let config = args.apply_policies(CompilerConfig::default());
+        assert_eq!(config.routing, RoutingKind::LookaheadCongestion);
+        assert_eq!(config.mapping, MappingKind::RoundRobin);
+        assert_eq!(config.reorder, ReorderMethod::GateSwap);
+        assert_eq!(config.eviction, EvictionKind::FurthestNextUse);
+        assert_eq!(config.buffer_slots, 2);
     }
 }

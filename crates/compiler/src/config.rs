@@ -1,13 +1,243 @@
-//! Compiler configuration: the microarchitectural chain-reordering choice
-//! and mapping parameters.
+//! Compiler configuration: the policy selection for every pipeline seam
+//! (mapping · routing · reordering · eviction) plus mapping parameters.
+//!
+//! Each seam is selected by a small `Copy` enum — [`MappingKind`],
+//! [`RoutingKind`], [`ReorderMethod`], [`EvictionKind`] — that resolves
+//! to a concrete policy object in [`crate::policy`]. All four parse from
+//! the same name registry (kebab-case CLI spelling, the Rust variant
+//! name, or a short alias, case-insensitively), so the CLI flags, JSON
+//! configs and error messages can never drift apart.
 
-use serde::{Deserialize, Serialize};
+use serde::de;
+use serde::{DeError, Deserialize, Serialize, Value};
 use std::fmt;
 use std::str::FromStr;
 
+/// Error returned when parsing an unknown policy name for any seam.
+///
+/// The message always lists the accepted spellings, e.g.
+/// `unknown routing policy `fastest` (accepted: greedy-shortest (SP),
+/// lookahead-congestion (LC))`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePolicyError {
+    seam: &'static str,
+    name: String,
+    accepted: String,
+}
+
+impl ParsePolicyError {
+    fn new(seam: &'static str, name: &str, accepted: String) -> Self {
+        ParsePolicyError {
+            seam,
+            name: name.to_owned(),
+            accepted,
+        }
+    }
+}
+
+impl fmt::Display for ParsePolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown {} policy `{}` (accepted: {})",
+            self.seam, self.name, self.accepted
+        )
+    }
+}
+
+impl std::error::Error for ParsePolicyError {}
+
+/// Error returned when parsing an unknown reorder-method name.
+///
+/// Kept as a dedicated name for backwards compatibility; since the
+/// policy-pipeline refactor it is the same registry-backed error as
+/// every other seam and lists the accepted names.
+pub type ParseReorderError = ParsePolicyError;
+
+/// Canonical spelling-insensitive form: lowercase with `-`/`_` removed,
+/// so `round-robin`, `RoundRobin`, `ROUND_ROBIN` and `roundrobin` all
+/// name the same policy.
+fn normalize(s: &str) -> String {
+    s.chars()
+        .filter(|c| *c != '-' && *c != '_')
+        .map(|c| c.to_ascii_lowercase())
+        .collect()
+}
+
+/// Declares a policy-selector enum wired into the shared name registry:
+/// `ALL`, `name()` (kebab-case CLI spelling), `variant_name()` (JSON /
+/// derive spelling), `short()` (figure-label abbreviation), `Display`
+/// (= `name()`), registry-backed `FromStr`, and `Serialize`/
+/// `Deserialize` that mirror the derive encoding for unit enums (a bare
+/// string) while accepting any registered spelling on input.
+macro_rules! policy_kind {
+    (
+        $(#[$meta:meta])*
+        $ty:ident ($seam:literal) {
+            $(
+                $(#[$vmeta:meta])*
+                $variant:ident => ($name:literal, $short:literal)
+            ),+ $(,)?
+        }
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        pub enum $ty {
+            $( $(#[$vmeta])* $variant, )+
+        }
+
+        impl $ty {
+            /// Every implementation of this seam, default first.
+            pub const ALL: [$ty; 0 $(+ { let _ = $ty::$variant; 1 })+] = [$($ty::$variant),+];
+
+            /// Kebab-case canonical name — the CLI and docs spelling.
+            pub fn name(&self) -> &'static str {
+                match self { $($ty::$variant => $name),+ }
+            }
+
+            /// The Rust variant name — the JSON spelling emitted by
+            /// serialization.
+            pub fn variant_name(&self) -> &'static str {
+                match self { $($ty::$variant => stringify!($variant)),+ }
+            }
+
+            /// Short label for figure legends and sweep tables.
+            pub fn short(&self) -> &'static str {
+                match self { $($ty::$variant => $short),+ }
+            }
+
+            /// The accepted spellings, for error messages.
+            fn accepted() -> String {
+                let mut out = String::new();
+                $(
+                    if !out.is_empty() { out.push_str(", "); }
+                    out.push_str($name);
+                    out.push_str(" (");
+                    out.push_str($short);
+                    out.push(')');
+                )+
+                out
+            }
+        }
+
+        impl fmt::Display for $ty {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                f.write_str(self.name())
+            }
+        }
+
+        impl FromStr for $ty {
+            type Err = ParsePolicyError;
+
+            fn from_str(s: &str) -> Result<Self, Self::Err> {
+                let key = normalize(s);
+                $(
+                    if key == normalize($name)
+                        || key == normalize(stringify!($variant))
+                        || key == normalize($short)
+                    {
+                        return Ok($ty::$variant);
+                    }
+                )+
+                Err(ParsePolicyError::new($seam, s, $ty::accepted()))
+            }
+        }
+
+        impl Serialize for $ty {
+            fn to_value(&self) -> Value {
+                Value::Str(self.variant_name().to_owned())
+            }
+        }
+
+        impl Deserialize for $ty {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match value {
+                    Value::Str(s) => s
+                        .parse::<$ty>()
+                        .map_err(|e| DeError::custom(e.to_string())),
+                    other => Err(DeError::type_mismatch(
+                        concat!("a ", $seam, " policy name"),
+                        other,
+                    )),
+                }
+            }
+        }
+    };
+}
+
+policy_kind! {
+    /// Initial ion-placement policy (pipeline seam 1).
+    MappingKind("mapping") {
+        /// The paper's §VI heuristic: qubits in first-use order, packed
+        /// into traps in trap-id order, leaving buffer slots free.
+        RoundRobin => ("round-robin", "RR"),
+        /// Interaction-aware packing: each trap is seeded in first-use
+        /// order, then filled with the unplaced qubit that interacts
+        /// most with the qubits already resident, co-locating
+        /// frequently-communicating pairs to cut shuttling volume.
+        UsageWeighted => ("usage-weighted", "UW"),
+    }
+}
+
+policy_kind! {
+    /// Shuttling-route selection policy (pipeline seam 2).
+    RoutingKind("routing") {
+        /// The paper's §VI choice: the device's cheapest static route
+        /// (memoized all-pairs shortest paths).
+        GreedyShortest => ("greedy-shortest", "SP"),
+        /// Congestion-aware lookahead: segments and junctions used by
+        /// recently-committed in-flight routes are penalized, steering
+        /// shuttles around contended resources where the topology
+        /// offers a detour.
+        LookaheadCongestion => ("lookahead-congestion", "LC"),
+    }
+}
+
+policy_kind! {
+    /// Destination-full eviction policy (pipeline seam 4).
+    EvictionKind("eviction") {
+        /// The paper's §VI choice: evict the resident whose next use is
+        /// farthest in the future ("leveraging full knowledge of the
+        /// program instructions") to the nearest trap with room.
+        FurthestNextUse => ("furthest-next-use", "FNU"),
+        /// Evict from the chain ends only (whichever end ion's next use
+        /// is farther), trading future shuttles for a guaranteed-cheap
+        /// reorder at eviction time.
+        ChainEnd => ("chain-end", "CE"),
+    }
+}
+
+impl Default for MappingKind {
+    /// Round-robin first-use packing — the paper's mapper.
+    fn default() -> Self {
+        MappingKind::RoundRobin
+    }
+}
+
+impl Default for RoutingKind {
+    /// Greedy shortest-path — the paper's router.
+    fn default() -> Self {
+        RoutingKind::GreedyShortest
+    }
+}
+
+impl Default for EvictionKind {
+    /// Furthest-next-use — the paper's eviction rule.
+    fn default() -> Self {
+        EvictionKind::FurthestNextUse
+    }
+}
+
 /// How a chain is reconfigured to bring an ion to the end it must depart
-/// from (paper §IV-C, Fig. 5).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+/// from (paper §IV-C, Fig. 5). Pipeline seam 3.
+///
+/// Not declared via `policy_kind!` because its `name()` must keep
+/// returning the paper's two-letter figure labels ("GS"/"IS") — the
+/// golden snapshots pin captions built from it — whereas the macro
+/// reserves `name()` for the kebab-case CLI spelling (here
+/// [`ReorderMethod::cli_name`]). The registry contents are the same;
+/// `FromStr` accepts every spelling either layout would.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
 pub enum ReorderMethod {
     /// Gate-based swapping (GS): one SWAP gate (3 MS gates) exchanges the
     /// *quantum states* of an arbitrary ion pair; the ion already at the
@@ -30,6 +260,28 @@ impl ReorderMethod {
             ReorderMethod::IonSwap => "IS",
         }
     }
+
+    /// Kebab-case canonical name, for the policy matrix docs.
+    pub fn cli_name(&self) -> &'static str {
+        match self {
+            ReorderMethod::GateSwap => "gate-swap",
+            ReorderMethod::IonSwap => "ion-swap",
+        }
+    }
+
+    /// The Rust variant name — the JSON spelling emitted by
+    /// serialization.
+    pub fn variant_name(&self) -> &'static str {
+        match self {
+            ReorderMethod::GateSwap => "GateSwap",
+            ReorderMethod::IonSwap => "IonSwap",
+        }
+    }
+
+    /// The accepted spellings, for error messages.
+    fn accepted() -> String {
+        "gate-swap (GS), ion-swap (IS)".to_owned()
+    }
 }
 
 impl fmt::Display for ReorderMethod {
@@ -38,43 +290,49 @@ impl fmt::Display for ReorderMethod {
     }
 }
 
-/// Error returned when parsing an unknown reorder-method name.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct ParseReorderError {
-    name: String,
-}
-
-impl fmt::Display for ParseReorderError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "unknown reorder method `{}` (expected GS or IS)",
-            self.name
-        )
-    }
-}
-
-impl std::error::Error for ParseReorderError {}
-
 impl FromStr for ReorderMethod {
     type Err = ParseReorderError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        match s.to_ascii_uppercase().as_str() {
-            "GS" | "GATESWAP" | "GATE_SWAP" => Ok(ReorderMethod::GateSwap),
-            "IS" | "IONSWAP" | "ION_SWAP" => Ok(ReorderMethod::IonSwap),
-            other => Err(ParseReorderError {
-                name: other.to_owned(),
-            }),
+        let key = normalize(s);
+        for method in ReorderMethod::ALL {
+            if key == normalize(method.name())
+                || key == normalize(method.cli_name())
+                || key == normalize(method.variant_name())
+            {
+                return Ok(method);
+            }
+        }
+        Err(ParsePolicyError::new(
+            "reorder",
+            s,
+            ReorderMethod::accepted(),
+        ))
+    }
+}
+
+impl Deserialize for ReorderMethod {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Str(s) => s
+                .parse::<ReorderMethod>()
+                .map_err(|e| DeError::custom(e.to_string())),
+            other => Err(DeError::type_mismatch("a reorder policy name", other)),
         }
     }
 }
 
-/// Compiler knobs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+/// Compiler knobs: one policy per pipeline seam plus the mapping buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
 pub struct CompilerConfig {
+    /// Initial ion-placement policy.
+    pub mapping: MappingKind,
+    /// Shuttling-route selection policy.
+    pub routing: RoutingKind,
     /// Chain-reordering method.
     pub reorder: ReorderMethod,
+    /// Destination-full eviction policy.
+    pub eviction: EvictionKind,
     /// Buffer slots the initial mapping leaves free per trap for incoming
     /// shuttles (the paper leaves room for 2). Relaxed automatically when
     /// the program would not otherwise fit.
@@ -82,10 +340,15 @@ pub struct CompilerConfig {
 }
 
 impl Default for CompilerConfig {
-    /// GS reordering with 2 buffer slots — the paper's defaults.
+    /// The paper's pipeline: round-robin mapping, greedy shortest-path
+    /// routing, GS reordering, furthest-next-use eviction, 2 buffer
+    /// slots.
     fn default() -> Self {
         CompilerConfig {
+            mapping: MappingKind::default(),
+            routing: RoutingKind::default(),
             reorder: ReorderMethod::GateSwap,
+            eviction: EvictionKind::default(),
             buffer_slots: 2,
         }
     }
@@ -114,7 +377,7 @@ impl fmt::Display for ConfigJsonError {
 impl std::error::Error for ConfigJsonError {}
 
 impl CompilerConfig {
-    /// Config with the given reorder method and default buffering.
+    /// Config with the given reorder method and paper defaults elsewhere.
     pub fn with_reorder(reorder: ReorderMethod) -> Self {
         CompilerConfig {
             reorder,
@@ -122,28 +385,117 @@ impl CompilerConfig {
         }
     }
 
+    /// Config with the given mapping policy and paper defaults elsewhere.
+    pub fn with_mapping(mapping: MappingKind) -> Self {
+        CompilerConfig {
+            mapping,
+            ..CompilerConfig::default()
+        }
+    }
+
+    /// Config with the given routing policy and paper defaults elsewhere.
+    pub fn with_routing(routing: RoutingKind) -> Self {
+        CompilerConfig {
+            routing,
+            ..CompilerConfig::default()
+        }
+    }
+
+    /// Config with the given eviction policy and paper defaults
+    /// elsewhere.
+    pub fn with_eviction(eviction: EvictionKind) -> Self {
+        CompilerConfig {
+            eviction,
+            ..CompilerConfig::default()
+        }
+    }
+
+    /// Compact pipeline label for sweep tables and figure legends, e.g.
+    /// `RR+SP+GS+FNU` for the paper's default pipeline.
+    pub fn policy_label(&self) -> String {
+        format!(
+            "{}+{}+{}+{}",
+            self.mapping.short(),
+            self.routing.short(),
+            self.reorder.name(),
+            self.eviction.short()
+        )
+    }
+
     /// Loads a config from JSON, e.g.
-    /// `{"reorder": "IonSwap", "buffer_slots": 1}`.
+    /// `{"reorder": "IonSwap", "buffer_slots": 1}` or
+    /// `{"reorder": "GS", "buffer_slots": 2, "routing":
+    /// "lookahead-congestion"}`.
+    ///
+    /// The policy fields `mapping`, `routing` and `eviction` are
+    /// optional and default to the paper's pipeline; policy names accept
+    /// the kebab-case CLI spelling, the Rust variant name, or the short
+    /// label, case-insensitively.
     ///
     /// # Errors
     ///
     /// Returns a [`ConfigJsonError`] (never panics) for malformed JSON,
-    /// missing fields or an unknown reorder method.
+    /// missing required fields, an unknown field, or an unknown policy
+    /// name; unknown-policy errors list the accepted names.
     ///
     /// # Example
     ///
     /// ```
-    /// use qccd_compiler::{CompilerConfig, ReorderMethod};
+    /// use qccd_compiler::{CompilerConfig, ReorderMethod, RoutingKind};
     ///
     /// let c = CompilerConfig::from_json(
     ///     r#"{"reorder": "GateSwap", "buffer_slots": 2}"#,
     /// ).unwrap();
     /// assert_eq!(c, CompilerConfig::default());
-    /// assert!(CompilerConfig::from_json(r#"{"reorder": "Sort"}"#).is_err());
+    ///
+    /// let c = CompilerConfig::from_json(
+    ///     r#"{"reorder": "GS", "buffer_slots": 2, "routing": "lookahead-congestion"}"#,
+    /// ).unwrap();
+    /// assert_eq!(c.routing, RoutingKind::LookaheadCongestion);
+    ///
+    /// let err = CompilerConfig::from_json(r#"{"reorder": "Sort"}"#).unwrap_err();
+    /// assert!(err.message().contains("gate-swap (GS), ion-swap (IS)"));
     /// ```
     pub fn from_json(text: &str) -> Result<CompilerConfig, ConfigJsonError> {
         serde_json::from_str(text).map_err(|e| ConfigJsonError {
             message: e.to_string(),
+        })
+    }
+}
+
+/// Extracts and deserializes an optional policy field.
+fn opt_field<T: Deserialize>(
+    entries: &[(String, Value)],
+    name: &str,
+) -> Result<Option<T>, DeError> {
+    entries
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| {
+            T::from_value(v)
+                .map_err(|e| DeError::custom(format!("field `{name}` of `CompilerConfig`: {e}")))
+        })
+        .transpose()
+}
+
+impl Deserialize for CompilerConfig {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        const FIELDS: [&str; 5] = ["mapping", "routing", "reorder", "eviction", "buffer_slots"];
+        let entries = de::object(value, "CompilerConfig")?;
+        for (key, _) in entries {
+            if !FIELDS.contains(&key.as_str()) {
+                return Err(DeError::custom(format!(
+                    "unknown field `{key}` of `CompilerConfig` (fields: {})",
+                    FIELDS.join(", ")
+                )));
+            }
+        }
+        Ok(CompilerConfig {
+            mapping: opt_field(entries, "mapping")?.unwrap_or_default(),
+            routing: opt_field(entries, "routing")?.unwrap_or_default(),
+            reorder: de::field(entries, "reorder", "CompilerConfig")?,
+            eviction: opt_field(entries, "eviction")?.unwrap_or_default(),
+            buffer_slots: de::field(entries, "buffer_slots", "CompilerConfig")?,
         })
     }
 }
@@ -155,7 +507,10 @@ mod tests {
     #[test]
     fn defaults_match_paper() {
         let c = CompilerConfig::default();
+        assert_eq!(c.mapping, MappingKind::RoundRobin);
+        assert_eq!(c.routing, RoutingKind::GreedyShortest);
         assert_eq!(c.reorder, ReorderMethod::GateSwap);
+        assert_eq!(c.eviction, EvictionKind::FurthestNextUse);
         assert_eq!(c.buffer_slots, 2);
     }
 
@@ -163,19 +518,86 @@ mod tests {
     fn reorder_names_round_trip() {
         for m in ReorderMethod::ALL {
             assert_eq!(m.name().parse::<ReorderMethod>().unwrap(), m);
+            assert_eq!(m.cli_name().parse::<ReorderMethod>().unwrap(), m);
         }
         assert_eq!(
             "is".parse::<ReorderMethod>().unwrap(),
             ReorderMethod::IonSwap
         );
+        assert_eq!(
+            "GATE_SWAP".parse::<ReorderMethod>().unwrap(),
+            ReorderMethod::GateSwap
+        );
         assert!("xy".parse::<ReorderMethod>().is_err());
     }
 
     #[test]
-    fn with_reorder_keeps_buffer() {
+    fn every_kind_parses_all_registered_spellings() {
+        for kind in MappingKind::ALL {
+            for s in [kind.name(), kind.variant_name(), kind.short()] {
+                assert_eq!(s.parse::<MappingKind>().unwrap(), kind, "{s}");
+                assert_eq!(s.to_ascii_uppercase().parse::<MappingKind>().unwrap(), kind);
+            }
+        }
+        for kind in RoutingKind::ALL {
+            for s in [kind.name(), kind.variant_name(), kind.short()] {
+                assert_eq!(s.parse::<RoutingKind>().unwrap(), kind, "{s}");
+            }
+        }
+        for kind in EvictionKind::ALL {
+            for s in [kind.name(), kind.variant_name(), kind.short()] {
+                assert_eq!(s.parse::<EvictionKind>().unwrap(), kind, "{s}");
+            }
+        }
+    }
+
+    #[test]
+    fn parse_errors_list_accepted_names() {
+        let err = "warp".parse::<RoutingKind>().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("warp"), "{msg}");
+        assert!(msg.contains("greedy-shortest"), "{msg}");
+        assert!(msg.contains("lookahead-congestion"), "{msg}");
+
+        let err = "xy".parse::<ReorderMethod>().unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("gate-swap"), "{msg}");
+        assert!(msg.contains("ion-swap"), "{msg}");
+
+        let err = "lifo".parse::<EvictionKind>().unwrap_err();
+        assert!(err.to_string().contains("furthest-next-use"));
+
+        let err = "hash".parse::<MappingKind>().unwrap_err();
+        assert!(err.to_string().contains("usage-weighted"));
+    }
+
+    #[test]
+    fn with_constructors_keep_other_defaults() {
         let c = CompilerConfig::with_reorder(ReorderMethod::IonSwap);
         assert_eq!(c.reorder, ReorderMethod::IonSwap);
         assert_eq!(c.buffer_slots, 2);
+        let c = CompilerConfig::with_mapping(MappingKind::UsageWeighted);
+        assert_eq!(c.mapping, MappingKind::UsageWeighted);
+        assert_eq!(c.routing, RoutingKind::GreedyShortest);
+        let c = CompilerConfig::with_routing(RoutingKind::LookaheadCongestion);
+        assert_eq!(c.routing, RoutingKind::LookaheadCongestion);
+        assert_eq!(c.eviction, EvictionKind::FurthestNextUse);
+        let c = CompilerConfig::with_eviction(EvictionKind::ChainEnd);
+        assert_eq!(c.eviction, EvictionKind::ChainEnd);
+        assert_eq!(c.mapping, MappingKind::RoundRobin);
+    }
+
+    #[test]
+    fn policy_label_is_compact() {
+        assert_eq!(CompilerConfig::default().policy_label(), "RR+SP+GS+FNU");
+        let c = CompilerConfig {
+            mapping: MappingKind::UsageWeighted,
+            routing: RoutingKind::LookaheadCongestion,
+            reorder: ReorderMethod::IonSwap,
+            eviction: EvictionKind::ChainEnd,
+            buffer_slots: 2,
+        };
+        assert_eq!(c.policy_label(), "UW+LC+IS+CE");
     }
 
     #[test]
@@ -183,13 +605,43 @@ mod tests {
         for config in [
             CompilerConfig::default(),
             CompilerConfig {
+                mapping: MappingKind::UsageWeighted,
+                routing: RoutingKind::LookaheadCongestion,
                 reorder: ReorderMethod::IonSwap,
+                eviction: EvictionKind::ChainEnd,
                 buffer_slots: 0,
             },
         ] {
             let json = serde_json::to_string(&config).unwrap();
             assert_eq!(CompilerConfig::from_json(&json).unwrap(), config);
         }
+    }
+
+    #[test]
+    fn pre_policy_configs_still_load() {
+        // PR 2 era config files name only reorder + buffer_slots; the
+        // policy seams must default to the paper's pipeline.
+        let c = CompilerConfig::from_json(r#"{"reorder": "IonSwap", "buffer_slots": 1}"#).unwrap();
+        assert_eq!(c.reorder, ReorderMethod::IonSwap);
+        assert_eq!(c.buffer_slots, 1);
+        assert_eq!(c.mapping, MappingKind::RoundRobin);
+        assert_eq!(c.routing, RoutingKind::GreedyShortest);
+        assert_eq!(c.eviction, EvictionKind::FurthestNextUse);
+    }
+
+    #[test]
+    fn json_accepts_cli_spellings() {
+        let c = CompilerConfig::from_json(
+            r#"{"reorder": "is", "buffer_slots": 2,
+                "mapping": "usage-weighted",
+                "routing": "LC",
+                "eviction": "ChainEnd"}"#,
+        )
+        .unwrap();
+        assert_eq!(c.reorder, ReorderMethod::IonSwap);
+        assert_eq!(c.mapping, MappingKind::UsageWeighted);
+        assert_eq!(c.routing, RoutingKind::LookaheadCongestion);
+        assert_eq!(c.eviction, EvictionKind::ChainEnd);
     }
 
     #[test]
@@ -201,5 +653,26 @@ mod tests {
         let err =
             CompilerConfig::from_json("{\"reorder\": \"Bogus\", \"buffer_slots\": 2}").unwrap_err();
         assert!(err.message().contains("Bogus"), "{err}");
+        assert!(err.message().contains("gate-swap (GS)"), "{err}");
+        let err = CompilerConfig::from_json(
+            "{\"reorder\": \"GS\", \"buffer_slots\": 2, \"routing\": \"warp\"}",
+        )
+        .unwrap_err();
+        assert!(err.message().contains("greedy-shortest"), "{err}");
+        let err = CompilerConfig::from_json(
+            "{\"reorder\": \"GS\", \"buffer_slots\": 2, \"euiction\": \"chain-end\"}",
+        )
+        .unwrap_err();
+        assert!(err.message().contains("unknown field `euiction`"), "{err}");
+        assert!(err.message().contains("eviction"), "{err}");
+    }
+
+    #[test]
+    fn serialization_uses_variant_names() {
+        let json = serde_json::to_string(&CompilerConfig::default()).unwrap();
+        assert!(json.contains("\"RoundRobin\""), "{json}");
+        assert!(json.contains("\"GreedyShortest\""), "{json}");
+        assert!(json.contains("\"GateSwap\""), "{json}");
+        assert!(json.contains("\"FurthestNextUse\""), "{json}");
     }
 }

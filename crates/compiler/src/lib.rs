@@ -4,26 +4,34 @@
 //! QCCD-based TI systems, so we built a backend compiler which maps and
 //! optimizes applications for QCCD systems."
 //!
-//! The pipeline:
+//! The compiler is a pass [`Pipeline`] with four pluggable policy seams
+//! (see [`policy`]); each seam ships two built-in implementations and is
+//! selected by [`CompilerConfig`], JSON configs, or the `qccd-bench`
+//! CLI flags:
 //!
-//! 1. **Mapping** ([`mapping`]): program qubits are ordered by first use
-//!    and greedily packed into traps, leaving buffer slots for incoming
-//!    shuttles (2 per trap by default, as in the paper).
+//! 1. **Mapping** ([`policy::MappingPolicy`]): program qubits are placed
+//!    into traps — first-use round-robin packing
+//!    ([`MappingKind::RoundRobin`], the paper's §VI heuristic) or
+//!    interaction-aware co-location ([`MappingKind::UsageWeighted`]).
 //! 2. **Scheduling** ([`compile()`]): the *earliest ready gate first*
 //!    heuristic walks the circuit's dependency DAG.
 //! 3. **Lowering** ([`lowering`]): source gates (CX/CZ/SWAP) become native
 //!    Mølmer–Sørensen gates plus single-qubit wrappers.
-//! 4. **Routing** ([`compile()`]): for cross-trap gates, one ion is shuttled
-//!    along the device's shortest route; chain-reordering operations
-//!    (gate-based [`ReorderMethod::GateSwap`] or physical
-//!    [`ReorderMethod::IonSwap`], §IV-C) are inserted automatically
-//!    whenever the departing ion is not at the chain end the route leaves
-//!    from; full destination traps are handled by evicting the
-//!    least-soon-needed resident ion.
+//! 4. **Routing** ([`policy::RoutingPolicy`]): cross-trap gates shuttle
+//!    one ion along the device's shortest route
+//!    ([`RoutingKind::GreedyShortest`]) or a congestion-aware detour
+//!    ([`RoutingKind::LookaheadCongestion`]); chain reordering
+//!    ([`policy::ReorderPolicy`]: gate-based
+//!    [`ReorderMethod::GateSwap`] or physical
+//!    [`ReorderMethod::IonSwap`], §IV-C) brings the departing ion to
+//!    the chain end; full destinations are cleared by the eviction
+//!    policy ([`policy::EvictionPolicy`]:
+//!    [`EvictionKind::FurthestNextUse`] or [`EvictionKind::ChainEnd`]).
 //!
-//! The output is an [`Executable`] of primitive QCCD instructions
-//! ([`Inst`]) plus the initial ion placement — exactly what the
-//! `qccd-sim` crate consumes.
+//! The default configuration is exactly the paper's compiler. The output
+//! is an [`Executable`] of primitive QCCD instructions ([`Inst`]) plus
+//! the initial ion placement — exactly what the `qccd-sim` crate
+//! consumes.
 //!
 //! # Example
 //!
@@ -53,11 +61,18 @@ pub mod error;
 pub mod executable;
 pub mod lowering;
 pub mod mapping;
+pub mod passes;
+pub mod policy;
 pub mod state;
 
 pub use compile::compile;
-pub use config::{CompilerConfig, ConfigJsonError, ReorderMethod};
+pub use config::{
+    CompilerConfig, ConfigJsonError, EvictionKind, MappingKind, ParsePolicyError,
+    ParseReorderError, ReorderMethod, RoutingKind,
+};
 pub use error::CompileError;
 pub use executable::{Executable, Inst, OpCounts};
 pub use mapping::{initial_map, Placement};
+pub use passes::{Pipeline, UsesTable};
+pub use policy::{EvictionPolicy, MappingPolicy, ReorderPolicy, RoutingPolicy};
 pub use state::MachineState;

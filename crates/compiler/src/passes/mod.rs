@@ -1,0 +1,386 @@
+//! The pass pipeline: scheduling glue around the four policy seams.
+//!
+//! A [`Pipeline`] owns one policy per seam ([`MappingPolicy`] →
+//! [`RoutingPolicy`] → [`ReorderPolicy`] → [`EvictionPolicy`]) and runs
+//! the fixed pass structure of §VI around them:
+//!
+//! 1. **Map** — the mapping policy places every program qubit's ion;
+//! 2. **Schedule** — the *earliest ready gate first* walk over the
+//!    circuit's dependency DAG;
+//! 3. **Route** — for each cross-trap gate the routing policy picks a
+//!    route, committed one leg at a time (reorder → split → move →
+//!    merge, the Fig. 4 sequence), re-querying after every hop so
+//!    congestion-aware policies see fresh traffic;
+//! 4. **Evict** — when a final destination is full, the eviction policy
+//!    picks a victim and target, and the victim is shuttled out first.
+//!
+//! [`Pipeline::from_config`] assembles the built-in policies named by a
+//! [`CompilerConfig`]; [`Pipeline::new`] accepts any boxed custom
+//! policies. The default configuration reproduces the pre-pipeline
+//! monolithic compiler instruction for instruction — the PR 2 golden
+//! snapshots pin this.
+
+use crate::config::CompilerConfig;
+use crate::error::CompileError;
+use crate::executable::{Executable, Inst};
+use crate::lowering::lower_two_qubit;
+use crate::policy::{
+    Congestion, EvictionPolicy, EvictionQuery, MappingPolicy, ReorderPolicy, RouteQuery,
+    RoutingPolicy,
+};
+use crate::state::MachineState;
+use qccd_circuit::{Circuit, DependencyDag, Operation};
+use qccd_device::{Device, RouteCache, TrapId};
+
+/// Per-qubit sorted lists of the operation indices that use it, for
+/// next-use lookups ("full knowledge of the program instructions", §VI).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UsesTable {
+    per_qubit: Vec<Vec<usize>>,
+}
+
+impl UsesTable {
+    /// Indexes `circuit`'s operations by qubit.
+    pub fn new(circuit: &Circuit) -> Self {
+        let mut per_qubit = vec![Vec::new(); circuit.num_qubits() as usize];
+        for (i, op) in circuit.iter().enumerate() {
+            for q in op.qubits() {
+                per_qubit[q.index()].push(i);
+            }
+        }
+        UsesTable { per_qubit }
+    }
+
+    /// Index of the next operation after `op` that uses `q`, or
+    /// `usize::MAX` if it is never used again.
+    pub fn next_use_after(&self, q: u32, op: usize) -> usize {
+        let uses = &self.per_qubit[q as usize];
+        let pos = uses.partition_point(|&i| i <= op);
+        uses.get(pos).copied().unwrap_or(usize::MAX)
+    }
+}
+
+/// A fully-assembled compiler: one policy per seam plus the mapping
+/// buffer.
+///
+/// # Example
+///
+/// ```
+/// use qccd_circuit::{Circuit, Qubit};
+/// use qccd_compiler::{CompilerConfig, Pipeline, RoutingKind};
+/// use qccd_device::presets;
+///
+/// let mut circuit = Circuit::new("bell", 2);
+/// circuit.h(Qubit(0));
+/// circuit.cx(Qubit(0), Qubit(1));
+///
+/// let pipeline = Pipeline::from_config(
+///     &CompilerConfig::with_routing(RoutingKind::LookaheadCongestion),
+/// );
+/// let exe = pipeline.compile(&circuit, &presets::l6(20)).unwrap();
+/// assert_eq!(exe.counts().two_qubit_gates, 1);
+/// ```
+pub struct Pipeline {
+    mapping: Box<dyn MappingPolicy>,
+    routing: Box<dyn RoutingPolicy>,
+    reorder: Box<dyn ReorderPolicy>,
+    eviction: Box<dyn EvictionPolicy>,
+    buffer_slots: u32,
+}
+
+impl Pipeline {
+    /// Assembles the built-in policies named by `config`.
+    pub fn from_config(config: &CompilerConfig) -> Self {
+        Pipeline {
+            mapping: config.mapping.policy(),
+            routing: config.routing.policy(),
+            reorder: config.reorder.policy(),
+            eviction: config.eviction.policy(),
+            buffer_slots: config.buffer_slots,
+        }
+    }
+
+    /// Assembles a pipeline from (possibly custom) boxed policies.
+    pub fn new(
+        mapping: Box<dyn MappingPolicy>,
+        routing: Box<dyn RoutingPolicy>,
+        reorder: Box<dyn ReorderPolicy>,
+        eviction: Box<dyn EvictionPolicy>,
+        buffer_slots: u32,
+    ) -> Self {
+        Pipeline {
+            mapping,
+            routing,
+            reorder,
+            eviction,
+            buffer_slots,
+        }
+    }
+
+    /// The placement policy (seam 1).
+    pub fn mapping(&self) -> &dyn MappingPolicy {
+        &*self.mapping
+    }
+
+    /// The routing policy (seam 2).
+    pub fn routing(&self) -> &dyn RoutingPolicy {
+        &*self.routing
+    }
+
+    /// The reordering policy (seam 3).
+    pub fn reorder(&self) -> &dyn ReorderPolicy {
+        &*self.reorder
+    }
+
+    /// The eviction policy (seam 4).
+    pub fn eviction(&self) -> &dyn EvictionPolicy {
+        &*self.eviction
+    }
+
+    /// Buffer slots the mapping leaves free per trap where possible.
+    pub fn buffer_slots(&self) -> u32 {
+        self.buffer_slots
+    }
+
+    /// One-line human-readable pipeline description.
+    pub fn describe(&self) -> String {
+        format!(
+            "{} mapping · {} routing · {} reordering · {} eviction · {} buffer slots",
+            self.mapping.name(),
+            self.routing.name(),
+            self.reorder.name(),
+            self.eviction.name(),
+            self.buffer_slots
+        )
+    }
+
+    /// Compiles `circuit` for `device` through every pass.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CompileError`] if the circuit is invalid, the device
+    /// lacks capacity for the program, or routing is impossible.
+    pub fn compile(&self, circuit: &Circuit, device: &Device) -> Result<Executable, CompileError> {
+        circuit.validate()?;
+        let placement = self.mapping.place(circuit, device, self.buffer_slots)?;
+        let mut ctx = Ctx {
+            device,
+            routes: RouteCache::new(device),
+            congestion: Congestion::new(device),
+            routing: &*self.routing,
+            reorder: &*self.reorder,
+            eviction: &*self.eviction,
+            st: MachineState::new(&placement),
+            out: Vec::new(),
+            uses: UsesTable::new(circuit),
+            current_op: 0,
+        };
+
+        let dag = DependencyDag::new(circuit);
+        let mut tracker = dag.ready_tracker();
+        while let Some(i) = tracker.pop_earliest() {
+            ctx.current_op = i;
+            match &circuit.operations()[i] {
+                Operation::OneQubit { gate, q } => {
+                    let ion = ctx.st.ion_of_qubit(q.0);
+                    ctx.out.push(Inst::OneQubit { gate: *gate, ion });
+                }
+                Operation::Measure { q } => {
+                    let ion = ctx.st.ion_of_qubit(q.0);
+                    ctx.out.push(Inst::Measure { ion });
+                }
+                Operation::Barrier { .. } => {
+                    // Pure scheduling fence: the executable is already
+                    // totally ordered, so nothing is emitted.
+                }
+                Operation::TwoQubit { gate, a, b } => {
+                    ctx.two_qubit_gate(*gate, a.0, b.0)?;
+                }
+            }
+            tracker.complete(i);
+        }
+
+        let final_map = ctx.st.qubit_assignment();
+        Ok(Executable::new(
+            circuit.name().to_owned(),
+            circuit.num_qubits(),
+            placement.chains().to_vec(),
+            ctx.out,
+            final_map,
+        ))
+    }
+}
+
+/// In-flight compilation state threaded through the scheduling pass.
+struct Ctx<'a> {
+    device: &'a Device,
+    routes: RouteCache<'a>,
+    congestion: Congestion,
+    routing: &'a dyn RoutingPolicy,
+    reorder: &'a dyn ReorderPolicy,
+    eviction: &'a dyn EvictionPolicy,
+    st: MachineState,
+    out: Vec<Inst>,
+    uses: UsesTable,
+    current_op: usize,
+}
+
+impl Ctx<'_> {
+    fn free_slots(&self, trap: TrapId) -> usize {
+        (self.device.trap(trap).capacity() as usize).saturating_sub(self.st.chain_len(trap))
+    }
+
+    fn two_qubit_gate(
+        &mut self,
+        gate: qccd_circuit::TwoQubitGate,
+        qa: u32,
+        qb: u32,
+    ) -> Result<(), CompileError> {
+        let ta = self
+            .st
+            .trap_of(self.st.ion_of_qubit(qa))
+            .expect("scheduled ions are never in flight");
+        let tb = self
+            .st
+            .trap_of(self.st.ion_of_qubit(qb))
+            .expect("scheduled ions are never in flight");
+        if ta != tb {
+            // Co-locate at the second operand's trap (the paper's compiler
+            // shuttles the gate's ion to its partner), evicting a resident
+            // when the destination is full.
+            self.shuttle_qubit(qa, tb, &[qa, qb])?;
+        }
+        let ia = self.st.ion_of_qubit(qa);
+        let ib = self.st.ion_of_qubit(qb);
+        lower_two_qubit(gate, ia, ib, &mut self.out);
+        Ok(())
+    }
+
+    /// Shuttles the ion carrying qubit `q` to trap `dest`, leg by leg.
+    /// `protected` qubits may not be evicted to make room.
+    fn shuttle_qubit(
+        &mut self,
+        q: u32,
+        dest: TrapId,
+        protected: &[u32],
+    ) -> Result<(), CompileError> {
+        loop {
+            let ion = self.st.ion_of_qubit(q);
+            let src = self
+                .st
+                .trap_of(ion)
+                .expect("shuttled ions are between ops, not in flight");
+            if src == dest {
+                return Ok(());
+            }
+            let route = self.routing.next_route(&RouteQuery::new(
+                self.device,
+                &self.routes,
+                &self.congestion,
+                src,
+                dest,
+            ))?;
+            let leg = route.legs()[0].clone();
+            if leg.to == dest && self.free_slots(dest) == 0 {
+                let pick = self.eviction.pick(&EvictionQuery::new(
+                    self.device,
+                    &self.routes,
+                    &self.st,
+                    &self.uses,
+                    self.current_op,
+                    dest,
+                    protected,
+                ))?;
+                self.shuttle_qubit(pick.victim_qubit, pick.target, protected)?;
+            }
+            // Re-read the carrier: the eviction's own transit reorders may
+            // have gate-swapped q onto a different ion in `src`.
+            let ion = self.st.ion_of_qubit(q);
+            // Reorder so the qubit's ion sits at the departure end.
+            self.reorder
+                .bring_to_end(&mut self.st, &mut self.out, ion, src, leg.exit_side);
+            let ion = self.st.ion_of_qubit(q); // GS may have relabelled
+            self.out.push(Inst::Split {
+                ion,
+                trap: src,
+                side: leg.exit_side,
+            });
+            self.st.remove_end(ion, src, leg.exit_side);
+            self.out.push(Inst::Move {
+                ion,
+                leg: leg.clone(),
+            });
+            self.out.push(Inst::Merge {
+                ion,
+                trap: leg.to,
+                side: leg.entry_side,
+            });
+            self.st.insert_end(ion, leg.to, leg.entry_side);
+            self.congestion.commit(&leg);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::compile;
+    use qccd_circuit::generators;
+    use qccd_device::presets;
+
+    #[test]
+    fn uses_table_matches_linear_scan() {
+        let c = generators::random_circuit(12, 80, 0.5, 3);
+        let uses = UsesTable::new(&c);
+        for q in 0..12u32 {
+            for op in 0..c.len() {
+                let expected = c
+                    .iter()
+                    .enumerate()
+                    .skip(op + 1)
+                    .find(|(_, o)| o.qubits().iter().any(|x| x.0 == q))
+                    .map_or(usize::MAX, |(i, _)| i);
+                assert_eq!(uses.next_use_after(q, op), expected, "q{q} after op{op}");
+            }
+        }
+    }
+
+    #[test]
+    fn from_config_names_the_selected_policies() {
+        let p = Pipeline::from_config(&CompilerConfig::default());
+        assert_eq!(p.mapping().name(), "round-robin");
+        assert_eq!(p.routing().name(), "greedy-shortest");
+        assert_eq!(p.reorder().name(), "gate-swap");
+        assert_eq!(p.eviction().name(), "furthest-next-use");
+        assert_eq!(p.buffer_slots(), 2);
+        assert!(p.describe().contains("greedy-shortest routing"));
+    }
+
+    #[test]
+    fn pipeline_compile_equals_compile_fn() {
+        let c = generators::random_circuit(24, 200, 0.4, 5);
+        let d = presets::l6(8);
+        let config = CompilerConfig::default();
+        let via_fn = compile(&c, &d, &config).unwrap();
+        let via_pipeline = Pipeline::from_config(&config).compile(&c, &d).unwrap();
+        assert_eq!(via_fn, via_pipeline);
+    }
+
+    #[test]
+    fn custom_boxed_policies_compose() {
+        use crate::policy::{FurthestNextUse, GateSwapReorder, GreedyShortest, RoundRobin};
+        let p = Pipeline::new(
+            Box::new(RoundRobin),
+            Box::new(GreedyShortest),
+            Box::new(GateSwapReorder),
+            Box::new(FurthestNextUse),
+            2,
+        );
+        let c = generators::qaoa(20, 1, 5);
+        let d = presets::l6(8);
+        assert_eq!(
+            p.compile(&c, &d).unwrap(),
+            compile(&c, &d, &CompilerConfig::default()).unwrap()
+        );
+    }
+}

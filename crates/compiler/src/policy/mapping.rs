@@ -1,0 +1,221 @@
+//! Initial-placement policies (pipeline seam 1).
+
+use super::MappingPolicy;
+use crate::error::CompileError;
+use crate::mapping::{initial_map, Placement};
+use qccd_circuit::{Circuit, Operation};
+use qccd_device::{Device, IonId};
+
+/// The paper's §VI mapper: qubits in first-use order, packed into traps
+/// in trap-id order, leaving buffer slots free where the program fits.
+///
+/// This is exactly [`initial_map`] — the default pipeline's placement.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RoundRobin;
+
+impl MappingPolicy for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round-robin"
+    }
+
+    fn place(
+        &self,
+        circuit: &Circuit,
+        device: &Device,
+        buffer_slots: u32,
+    ) -> Result<Placement, CompileError> {
+        initial_map(circuit, device, buffer_slots)
+    }
+}
+
+/// Interaction-aware placement: co-locates frequently-interacting
+/// qubits.
+///
+/// Each trap is seeded with the earliest unplaced qubit in first-use
+/// order (so the schedule's head still finds its operands early), then
+/// filled greedily with the unplaced qubit whose total two-qubit-gate
+/// count with the trap's current residents is highest, breaking ties
+/// toward earlier first use. Buffer slots are relaxed progressively
+/// exactly as in [`initial_map`] when the program would not otherwise
+/// fit.
+///
+/// Heavily-communicating clusters start in one chain, trading a denser
+/// initial chain for fewer cross-trap shuttles — the placement axis of
+/// the shuttling-overhead studies (cf. Schoenberger et al. 2024, TITAN).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UsageWeighted;
+
+impl MappingPolicy for UsageWeighted {
+    fn name(&self) -> &'static str {
+        "usage-weighted"
+    }
+
+    fn place(
+        &self,
+        circuit: &Circuit,
+        device: &Device,
+        buffer_slots: u32,
+    ) -> Result<Placement, CompileError> {
+        let n = circuit.num_qubits() as usize;
+        if circuit.num_qubits() > device.total_capacity() {
+            return Err(CompileError::InsufficientCapacity {
+                needed: circuit.num_qubits(),
+                capacity: device.total_capacity(),
+            });
+        }
+
+        // Pairwise interaction weights: how many two-qubit gates touch
+        // each qubit pair.
+        let mut weight = vec![0u32; n * n];
+        for op in circuit.iter() {
+            if let Operation::TwoQubit { a, b, .. } = op {
+                weight[a.index() * n + b.index()] += 1;
+                weight[b.index() * n + a.index()] += 1;
+            }
+        }
+
+        // First-use rank: seed order and tie-breaker.
+        let order = circuit.qubits_by_first_use();
+        let mut rank = vec![0usize; n];
+        for (r, q) in order.iter().enumerate() {
+            rank[q.index()] = r;
+        }
+
+        let mut placed = vec![false; n];
+        let mut num_placed = 0usize;
+        let mut chains: Vec<Vec<IonId>> = vec![Vec::new(); device.trap_count()];
+        let mut buffer = buffer_slots;
+        // Progressively relax the buffer until everything fits, exactly
+        // like the round-robin mapper.
+        loop {
+            for t in device.trap_ids() {
+                let cap = device.trap(t).capacity();
+                let limit = cap.saturating_sub(buffer) as usize;
+                while chains[t.index()].len() < limit && num_placed < n {
+                    let next = if chains[t.index()].is_empty() {
+                        // Seed: earliest unplaced qubit in first-use order.
+                        order
+                            .iter()
+                            .map(|q| q.index())
+                            .find(|&q| !placed[q])
+                            .expect("num_placed < n implies an unplaced qubit")
+                    } else {
+                        // Fill: highest affinity to the trap's residents,
+                        // ties toward earlier first use.
+                        let affinity = |q: usize| -> u64 {
+                            chains[t.index()]
+                                .iter()
+                                .map(|ion| u64::from(weight[q * n + ion.index()]))
+                                .sum()
+                        };
+                        (0..n)
+                            .filter(|&q| !placed[q])
+                            .max_by_key(|&q| (affinity(q), std::cmp::Reverse(rank[q])))
+                            .expect("num_placed < n implies an unplaced qubit")
+                    };
+                    placed[next] = true;
+                    num_placed += 1;
+                    chains[t.index()].push(IonId(next as u32));
+                }
+            }
+            if num_placed >= n {
+                break;
+            }
+            if buffer == 0 {
+                unreachable!("capacity check guarantees placement terminates");
+            }
+            buffer -= 1;
+        }
+        Ok(Placement::from_chains(chains))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qccd_circuit::Qubit;
+    use qccd_device::presets;
+
+    #[test]
+    fn round_robin_is_exactly_initial_map() {
+        let mut c = Circuit::new("t", 40);
+        for i in (0..40).rev() {
+            c.h(Qubit(i));
+        }
+        let d = presets::l6(12);
+        assert_eq!(
+            RoundRobin.place(&c, &d, 2).unwrap(),
+            initial_map(&c, &d, 2).unwrap()
+        );
+    }
+
+    #[test]
+    fn usage_weighted_co_locates_interacting_pairs() {
+        // Qubits 0 and 9 interact heavily; round-robin spreads them into
+        // different traps (first-use order 0..10 over capacity-3 traps),
+        // usage-weighted must put them into the same chain.
+        let mut c = Circuit::new("t", 10);
+        for i in 0..10 {
+            c.h(Qubit(i)); // first-use order = index order
+        }
+        for _ in 0..5 {
+            c.cx(Qubit(0), Qubit(9));
+        }
+        let d = presets::linear(4, 3, 4);
+        let trap_of = |p: &Placement, q: u32| -> usize {
+            p.chains()
+                .iter()
+                .position(|chain| chain.contains(&IonId(q)))
+                .unwrap()
+        };
+        let rr = RoundRobin.place(&c, &d, 0).unwrap();
+        assert_ne!(trap_of(&rr, 0), trap_of(&rr, 9), "RR spreads the pair");
+        let uw = UsageWeighted.place(&c, &d, 0).unwrap();
+        assert_eq!(trap_of(&uw, 0), trap_of(&uw, 9), "UW co-locates the pair");
+    }
+
+    #[test]
+    fn usage_weighted_places_every_qubit_once() {
+        let c = qccd_circuit::generators::qft(30);
+        let p = UsageWeighted.place(&c, &presets::l6(8), 2).unwrap();
+        assert_eq!(p.num_ions(), 30);
+        let mut seen = vec![false; 30];
+        for chain in p.chains() {
+            for ion in chain {
+                assert!(!seen[ion.index()], "{ion} placed twice");
+                seen[ion.index()] = true;
+            }
+        }
+        assert!(seen.into_iter().all(|b| b));
+    }
+
+    #[test]
+    fn usage_weighted_relaxes_buffer_when_tight() {
+        // 78 qubits on 6×14 = 84 slots forces relaxation to 1 free slot,
+        // mirroring the round-robin mapper's behavior.
+        let mut c = Circuit::new("line", 78);
+        for i in 0..77 {
+            c.cx(Qubit(i), Qubit(i + 1));
+        }
+        let p = UsageWeighted.place(&c, &presets::l6(14), 2).unwrap();
+        assert_eq!(p.num_ions(), 78);
+        assert_eq!(p.max_occupancy(), 13);
+    }
+
+    #[test]
+    fn usage_weighted_fails_when_physically_impossible() {
+        let c = qccd_circuit::generators::qft(100);
+        let err = UsageWeighted.place(&c, &presets::l6(14), 2).unwrap_err();
+        assert!(matches!(err, CompileError::InsufficientCapacity { .. }));
+    }
+
+    #[test]
+    fn usage_weighted_is_deterministic() {
+        let c = qccd_circuit::generators::random_circuit(24, 200, 0.5, 9);
+        let d = presets::g2x3(10);
+        assert_eq!(
+            UsageWeighted.place(&c, &d, 2).unwrap(),
+            UsageWeighted.place(&c, &d, 2).unwrap()
+        );
+    }
+}

@@ -13,9 +13,16 @@
 //! * [`device_size_sweep`] — the §VIII-B device range ("we evaluate
 //!   architectures with 50–200 qubits"): linear devices with 4–10 traps
 //!   at fixed capacity.
+//! * [`policy_ablation`] — the compiler-pipeline policy matrix: every
+//!   (mapping × routing × reorder × eviction) combination compared at
+//!   fixed capacities.
+//!
+//! Each study takes a base [`CompilerConfig`] so the `ablations` harness
+//! binary's `--mapping`/`--routing`/`--reorder`/`--eviction` flags (and
+//! `--config` files) steer the compiler policies under ablation.
 
-use super::{series_of, Figure, Panel};
-use crate::sweep::parallel_map;
+use super::{series_of, Figure, Panel, Series};
+use crate::sweep::{parallel_map, policy_grid};
 use crate::toolflow::Toolflow;
 use qccd_circuit::Circuit;
 use qccd_compiler::CompilerConfig;
@@ -24,12 +31,18 @@ use qccd_physics::{HeatingModel, PhysicalModel, ShuttleTimes};
 use qccd_sim::SimReport;
 
 /// Sweeps the mapping buffer (reserved slots per trap) for one circuit on
-/// L6 at the given capacity.
-pub fn buffer_sweep(circuit: &Circuit, capacity: u32, buffers: &[u32]) -> Figure {
+/// L6 at the given capacity. `base` selects the compiler policies; its
+/// own `buffer_slots` is overridden by each sweep point.
+pub fn buffer_sweep(
+    circuit: &Circuit,
+    capacity: u32,
+    buffers: &[u32],
+    base: CompilerConfig,
+) -> Figure {
     let outcomes: Vec<Option<SimReport>> = parallel_map(buffers, |&buffer_slots| {
         let config = CompilerConfig {
             buffer_slots,
-            ..CompilerConfig::default()
+            ..base
         };
         Toolflow::with_config(presets::l6(capacity), PhysicalModel::default(), config)
             .run(circuit)
@@ -56,15 +69,18 @@ pub fn buffer_sweep(circuit: &Circuit, capacity: u32, buffers: &[u32]) -> Figure
 }
 
 /// Compares the chain-size-scaled hot-spot heating model against the
-/// strict constant-k₁ reading across trap capacities.
-pub fn heating_ablation(circuit: &Circuit, capacities: &[u32]) -> Figure {
+/// strict constant-k₁ reading across trap capacities, compiling with
+/// `base`'s policies.
+pub fn heating_ablation(circuit: &Circuit, capacities: &[u32], base: CompilerConfig) -> Figure {
     let run = |heating: HeatingModel| -> Vec<Option<SimReport>> {
         parallel_map(capacities, |&cap| {
             let model = PhysicalModel {
                 heating,
                 ..PhysicalModel::default()
             };
-            Toolflow::new(presets::l6(cap), model).run(circuit).ok()
+            Toolflow::with_config(presets::l6(cap), model, base)
+                .run(circuit)
+                .ok()
         })
     };
     let scaled = run(HeatingModel::PAPER);
@@ -103,8 +119,14 @@ pub fn heating_ablation(circuit: &Circuit, capacities: &[u32]) -> Figure {
 }
 
 /// Sensitivity of the grid-vs-linear comparison to the X-junction crossing
-/// time (multiplied by the given factors).
-pub fn junction_cost_sweep(circuit: &Circuit, capacity: u32, factors: &[u32]) -> Figure {
+/// time (multiplied by the given factors), compiling with `base`'s
+/// policies.
+pub fn junction_cost_sweep(
+    circuit: &Circuit,
+    capacity: u32,
+    factors: &[u32],
+    base: CompilerConfig,
+) -> Figure {
     let cells: Vec<(u32, u8)> = factors.iter().flat_map(|&f| [(f, 0u8), (f, 1u8)]).collect();
     let outcomes = parallel_map(&cells, |&(factor, topo)| {
         let shuttle = ShuttleTimes {
@@ -121,7 +143,7 @@ pub fn junction_cost_sweep(circuit: &Circuit, capacity: u32, factors: &[u32]) ->
         } else {
             presets::g2x3(capacity)
         };
-        Toolflow::new(device, model).run(circuit).ok()
+        Toolflow::with_config(device, model, base).run(circuit).ok()
     });
     let row = |topo: u8| -> Vec<Option<SimReport>> {
         cells
@@ -151,12 +173,18 @@ pub fn junction_cost_sweep(circuit: &Circuit, capacity: u32, factors: &[u32]) ->
 }
 
 /// Sweeps the number of traps in a linear device at fixed capacity — the
-/// §VIII-B 50–200-qubit device range.
-pub fn device_size_sweep(circuit: &Circuit, trap_counts: &[u32], capacity: u32) -> Figure {
+/// §VIII-B 50–200-qubit device range — compiling with `base`'s policies.
+pub fn device_size_sweep(
+    circuit: &Circuit,
+    trap_counts: &[u32],
+    capacity: u32,
+    base: CompilerConfig,
+) -> Figure {
     let outcomes: Vec<Option<SimReport>> = parallel_map(trap_counts, |&n| {
-        Toolflow::new(
+        Toolflow::with_config(
             presets::linear(n, capacity, presets::DEFAULT_LINEAR_SPACING),
             PhysicalModel::default(),
+            base,
         )
         .run(circuit)
         .ok()
@@ -181,10 +209,81 @@ pub fn device_size_sweep(circuit: &Circuit, trap_counts: &[u32], capacity: u32) 
     }
 }
 
+/// The policy-pipeline ablation: every (mapping × routing × reorder ×
+/// eviction) combination of the compiler's built-in policies, run on L6
+/// at each capacity. One series per pipeline (labelled with the compact
+/// [`CompilerConfig::policy_label`] form, e.g. `RR+SP+GS+FNU`), panels
+/// for runtime, fidelity and shuttling volume.
+pub fn policy_ablation(circuit: &Circuit, capacities: &[u32], buffer_slots: u32) -> Figure {
+    let grid = policy_grid(buffer_slots);
+    // (config, capacity) cells, evaluated in parallel.
+    let cells: Vec<(usize, u32)> = grid
+        .iter()
+        .enumerate()
+        .flat_map(|(g, _)| capacities.iter().map(move |&c| (g, c)))
+        .collect();
+    let outcomes = parallel_map(&cells, |&(g, cap)| {
+        Toolflow::with_config(presets::l6(cap), PhysicalModel::default(), grid[g])
+            .run(circuit)
+            .ok()
+    });
+    let per_combo: Vec<Vec<Option<SimReport>>> = grid
+        .iter()
+        .enumerate()
+        .map(|(g, _)| {
+            cells
+                .iter()
+                .zip(outcomes.iter())
+                .filter(|((gi, _), _)| *gi == g)
+                .map(|(_, o)| o.clone())
+                .collect()
+        })
+        .collect();
+
+    let combo_series = |get: &dyn Fn(&SimReport) -> f64| -> Vec<Series> {
+        grid.iter()
+            .zip(per_combo.iter())
+            .map(|(config, row)| series_of(&config.policy_label(), row, get))
+            .collect()
+    };
+    Figure {
+        id: "A5".into(),
+        caption: format!(
+            "Compiler policy-pipeline ablation: {} on L6 \
+             (mapping RR/UW × routing SP/LC × reorder GS/IS × eviction FNU/CE)",
+            circuit.name()
+        ),
+        panels: vec![
+            Panel {
+                id: "A5-time".into(),
+                title: "runtime per pipeline".into(),
+                y_label: "time (s)".into(),
+                x: capacities.to_vec(),
+                series: combo_series(&|r| r.total_time_s()),
+            },
+            Panel {
+                id: "A5-fidelity".into(),
+                title: "fidelity per pipeline".into(),
+                y_label: "fidelity".into(),
+                x: capacities.to_vec(),
+                series: combo_series(&|r| r.fidelity()),
+            },
+            Panel {
+                id: "A5-comm".into(),
+                title: "shuttling volume per pipeline".into(),
+                y_label: "communication ops".into(),
+                x: capacities.to_vec(),
+                series: combo_series(&|r| r.counts.communication_ops() as f64),
+            },
+        ],
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use qccd_circuit::generators;
+    use qccd_compiler::{MappingKind, ReorderMethod};
 
     fn mini() -> Circuit {
         generators::qaoa(20, 1, 5)
@@ -192,7 +291,7 @@ mod tests {
 
     #[test]
     fn buffer_sweep_covers_requested_points() {
-        let fig = buffer_sweep(&mini(), 8, &[0, 2, 4]);
+        let fig = buffer_sweep(&mini(), 8, &[0, 2, 4], CompilerConfig::default());
         let p = &fig.panels[0];
         assert_eq!(p.x, vec![0, 2, 4]);
         assert!(p.series.iter().all(|s| s.y.len() == 3));
@@ -201,8 +300,25 @@ mod tests {
     }
 
     #[test]
+    fn buffer_sweep_honors_the_base_policies() {
+        // QAOA on L6 never reorders, so GS and IS bases coincide; a
+        // reorder-sensitive circuit must not (the base config reaches
+        // the compiler).
+        let c = generators::random_circuit(20, 120, 0.6, 4);
+        let gs = buffer_sweep(&c, 8, &[2], CompilerConfig::default());
+        let is = buffer_sweep(
+            &c,
+            8,
+            &[2],
+            CompilerConfig::with_reorder(ReorderMethod::IonSwap),
+        );
+        let time = |f: &Figure| f.panels[0].series[2].y[0].unwrap();
+        assert_ne!(time(&gs), time(&is), "base config ignored");
+    }
+
+    #[test]
     fn heating_ablation_constant_k1_never_hotter() {
-        let fig = heating_ablation(&mini(), &[8, 12]);
+        let fig = heating_ablation(&mini(), &[8, 12], CompilerConfig::default());
         let energy = fig.panel("A2-energy").unwrap();
         for i in 0..2 {
             let scaled = energy.series[0].y[i].unwrap();
@@ -213,7 +329,7 @@ mod tests {
 
     #[test]
     fn junction_cost_hurts_grid_only() {
-        let fig = junction_cost_sweep(&mini(), 8, &[1, 4]);
+        let fig = junction_cost_sweep(&mini(), 8, &[1, 4], CompilerConfig::default());
         let p = &fig.panels[0];
         let linear_cheap = p.series[0].y[0].unwrap();
         let linear_dear = p.series[0].y[1].unwrap();
@@ -229,11 +345,59 @@ mod tests {
     #[test]
     fn device_size_sweep_marks_infeasible_small_devices() {
         let circuit = generators::qaoa(40, 1, 5);
-        let fig = device_size_sweep(&circuit, &[2, 6, 8], 8);
+        let fig = device_size_sweep(&circuit, &[2, 6, 8], 8, CompilerConfig::default());
         let p = &fig.panels[0];
         // 2 traps × 8 = 16 slots < 40 qubits; 6 and 8 traps fit.
         assert!(p.series[0].y[0].is_none());
         assert!(p.series[0].y[1].is_some());
         assert!(p.series[0].y[2].is_some());
+    }
+
+    #[test]
+    fn policy_ablation_covers_the_full_grid() {
+        let fig = policy_ablation(&mini(), &[8, 10], 2);
+        for id in ["A5-time", "A5-fidelity", "A5-comm"] {
+            let p = fig.panel(id).unwrap();
+            assert_eq!(p.x, vec![8, 10]);
+            assert_eq!(p.series.len(), 16, "one series per pipeline");
+            for s in &p.series {
+                assert!(s.y.iter().all(Option::is_some), "{} infeasible", s.label);
+            }
+        }
+        let labels: Vec<&str> = fig.panels[0]
+            .series
+            .iter()
+            .map(|s| s.label.as_str())
+            .collect();
+        assert!(labels.contains(&"RR+SP+GS+FNU"));
+        assert!(labels.contains(&"UW+LC+IS+CE"));
+    }
+
+    #[test]
+    fn policy_ablation_mapping_axis_has_an_effect() {
+        // A pair-heavy circuit: usage-weighted placement must change the
+        // shuttling volume relative to round-robin somewhere on the grid.
+        let mut c = Circuit::new("pairs", 24);
+        for i in 0..24u32 {
+            c.h(qccd_circuit::Qubit(i)); // pin first-use order to index order
+        }
+        for i in 0..12u32 {
+            c.cx(qccd_circuit::Qubit(i), qccd_circuit::Qubit(23 - i));
+        }
+        let fig = policy_ablation(&c, &[8], 2);
+        let comm = fig.panel("A5-comm").unwrap();
+        let of = |label: &str| -> f64 {
+            comm.series.iter().find(|s| s.label == label).unwrap().y[0].unwrap()
+        };
+        assert_ne!(of("RR+SP+GS+FNU"), of("UW+SP+GS+FNU"));
+        // And the grid agrees with a direct single-config run.
+        let direct = Toolflow::with_config(
+            presets::l6(8),
+            PhysicalModel::default(),
+            CompilerConfig::with_mapping(MappingKind::UsageWeighted),
+        )
+        .run(&c)
+        .unwrap();
+        assert_eq!(of("UW+SP+GS+FNU"), direct.counts.communication_ops() as f64);
     }
 }

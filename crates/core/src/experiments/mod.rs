@@ -13,7 +13,7 @@
 //! | [`fig6::generate`]   | Fig. 6 — trap-sizing study (L6, FM, GS) |
 //! | [`fig7::generate`]   | Fig. 7 — topology study (L6 vs G2x3) |
 //! | [`fig8::generate`]   | Fig. 8 — microarchitecture study (4 gates × 2 reorders) |
-//! | [`ablations`]        | beyond-the-paper sensitivity studies (buffer, heating model, junction cost, device size) |
+//! | [`ablations`]        | beyond-the-paper sensitivity studies (buffer, heating model, junction cost, device size, compiler policy pipeline) |
 
 pub mod ablations;
 pub mod fig6;

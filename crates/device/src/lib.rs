@@ -45,5 +45,5 @@ pub mod topology;
 
 pub use builder::{BuildError, DeviceBuilder};
 pub use ids::{IonId, JunctionId, SegmentId, Side, TrapId};
-pub use path::{Leg, Route, RouteError};
+pub use path::{Leg, Route, RouteCache, RouteError};
 pub use topology::{Device, DeviceJsonError, Junction, JunctionKind, NodeRef, Segment, Trap};

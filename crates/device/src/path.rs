@@ -16,6 +16,7 @@ use crate::topology::{Device, NodeRef};
 use serde::{Deserialize, Serialize};
 use std::collections::BinaryHeap;
 use std::fmt;
+use std::sync::OnceLock;
 
 /// Relative Dijkstra weight of crossing one junction (vs one segment unit).
 const JUNCTION_WEIGHT: u64 = 12;
@@ -131,6 +132,32 @@ impl Device {
     ///
     /// Panics if either id is out of range for this device.
     pub fn route(&self, from: TrapId, to: TrapId) -> Result<Route, RouteError> {
+        self.route_weighted(from, to, &|_| 0, &|_| 0)
+    }
+
+    /// Computes the cheapest shuttling route under additional per-resource
+    /// penalties: `segment_penalty` is added to the cost of traversing a
+    /// segment and `junction_penalty` to the cost of crossing a junction.
+    ///
+    /// With all-zero penalties this is exactly [`Device::route`]; routing
+    /// policies (e.g. congestion-aware lookahead) supply penalties derived
+    /// from queued traffic to steer routes around contended resources.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError::SameTrap`] if `from == to` and
+    /// [`RouteError::Unreachable`] if the traps are not connected.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range for this device.
+    pub fn route_weighted(
+        &self,
+        from: TrapId,
+        to: TrapId,
+        segment_penalty: &dyn Fn(SegmentId) -> u64,
+        junction_penalty: &dyn Fn(JunctionId) -> u64,
+    ) -> Result<Route, RouteError> {
         assert!(from.index() < self.trap_count(), "unknown trap {from}");
         assert!(to.index() < self.trap_count(), "unknown trap {to}");
         if from == to {
@@ -151,13 +178,14 @@ impl Device {
             }
         };
 
-        // Cost of *entering* a node: junctions cost a crossing; traps other
-        // than the final destination cost a merge+reorder+split.
+        // Cost of *entering* a node: junctions cost a crossing (plus any
+        // caller-supplied congestion penalty); traps other than the final
+        // destination cost a merge+reorder+split.
         let entry_cost = |node: NodeRef| -> u64 {
             match node {
                 NodeRef::Trap(t) if t == to => 0,
                 NodeRef::Trap(_) => TRAP_WEIGHT,
-                NodeRef::Junction(_) => JUNCTION_WEIGHT,
+                NodeRef::Junction(j) => JUNCTION_WEIGHT + junction_penalty(j),
             }
         };
 
@@ -182,7 +210,7 @@ impl Device {
                     continue;
                 };
                 let v = idx(v_node);
-                let nd = d + u64::from(seg.length()) + entry_cost(v_node);
+                let nd = d + u64::from(seg.length()) + segment_penalty(s) + entry_cost(v_node);
                 if nd < dist[v] {
                     dist[v] = nd;
                     prev[v] = Some((u, s));
@@ -244,6 +272,74 @@ impl Device {
         }
         debug_assert!(leg_segments.is_empty(), "path must end at the target trap");
         Ok(Route { from, to, legs })
+    }
+}
+
+/// Lazily-built memo of all-pairs shortest routes for one device.
+///
+/// [`Device::route`] runs a fresh Dijkstra per call; the compiler's
+/// routing and eviction policies ask for the same trap pairs over and
+/// over (once per gate, and once per candidate trap per eviction), so a
+/// cache turns the per-gate cost into a table lookup after the first
+/// query. Each pair is computed on first use — building the cache is
+/// free for pairs that are never routed.
+///
+/// The cache is `Sync`: sweep workers can share one per device.
+///
+/// # Example
+///
+/// ```
+/// use qccd_device::{presets, RouteCache, TrapId};
+///
+/// let device = presets::g2x3(20);
+/// let cache = RouteCache::new(&device);
+/// let first = cache.route(TrapId(0), TrapId(5)).unwrap().clone();
+/// // The second query is a lookup, not a Dijkstra run.
+/// assert_eq!(cache.route(TrapId(0), TrapId(5)).unwrap(), &first);
+/// assert_eq!(&first, &device.route(TrapId(0), TrapId(5)).unwrap());
+/// ```
+#[derive(Debug)]
+pub struct RouteCache<'d> {
+    device: &'d Device,
+    /// Row-major `[from][to]` cells, each computed at most once.
+    cells: Vec<OnceLock<Result<Route, RouteError>>>,
+}
+
+impl<'d> RouteCache<'d> {
+    /// Creates an empty cache over `device`. No routes are computed yet.
+    pub fn new(device: &'d Device) -> Self {
+        let n = device.trap_count();
+        RouteCache {
+            device,
+            cells: (0..n * n).map(|_| OnceLock::new()).collect(),
+        }
+    }
+
+    /// The device this cache routes over.
+    pub fn device(&self) -> &'d Device {
+        self.device
+    }
+
+    /// The cheapest route from `from` to `to`, computed on first use and
+    /// memoized thereafter. Identical to [`Device::route`] in every
+    /// outcome, including errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`RouteError`]s as [`Device::route`] (also
+    /// memoized).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range for this device.
+    pub fn route(&self, from: TrapId, to: TrapId) -> Result<&Route, RouteError> {
+        let n = self.device.trap_count();
+        assert!(from.index() < n, "unknown trap {from}");
+        assert!(to.index() < n, "unknown trap {to}");
+        self.cells[from.index() * n + to.index()]
+            .get_or_init(|| self.device.route(from, to))
+            .as_ref()
+            .map_err(Clone::clone)
     }
 }
 
@@ -338,6 +434,118 @@ mod tests {
         let d = presets::l6(15);
         let r = d.route(TrapId(0), TrapId(2)).unwrap();
         assert_eq!(r.to_string(), "T0 -[4u]-> T1 -[4u]-> T2");
+    }
+
+    #[test]
+    fn zero_penalties_reproduce_route_exactly() {
+        for d in [presets::l6(15), presets::g2x3(15)] {
+            for a in d.trap_ids() {
+                for b in d.trap_ids() {
+                    assert_eq!(d.route(a, b), d.route_weighted(a, b, &|_| 0, &|_| 0));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn segment_penalty_reroutes_around_contention() {
+        // G2x3: T0 -> T1 crosses junction J0 via T0's right-port segment.
+        // Penalizing every segment of the preferred route forces a
+        // different (longer) path if one exists, or the same route at
+        // higher internal cost when the topology admits no detour.
+        let d = presets::g2x3(15);
+        let base = d.route(TrapId(0), TrapId(5)).unwrap();
+        let banned: Vec<SegmentId> = base.legs()[0].segments.clone();
+        let detour = d
+            .route_weighted(
+                TrapId(0),
+                TrapId(5),
+                &|s| if banned.contains(&s) { 10_000 } else { 0 },
+                &|_| 0,
+            )
+            .unwrap();
+        assert_ne!(
+            detour.legs()[0].segments,
+            banned,
+            "penalized segments should be avoided on the grid"
+        );
+        // The detour is still a valid T0 -> T5 route.
+        assert_eq!(detour.from(), TrapId(0));
+        assert_eq!(detour.to(), TrapId(5));
+    }
+
+    #[test]
+    fn junction_penalty_steers_grid_routes() {
+        // T0's single exit port makes its first junction unavoidable, but
+        // the grid offers a choice of *interior* crossings: penalizing a
+        // mid-route junction must change the crossing sequence.
+        let d = presets::g2x3(15);
+        let base = d.route(TrapId(0), TrapId(5)).unwrap();
+        let crossed = base.legs()[0].junctions.clone();
+        assert!(crossed.len() >= 2, "diagonal route crosses junctions");
+        let avoided = crossed[1];
+        let rerouted = d
+            .route_weighted(TrapId(0), TrapId(5), &|_| 0, &|j| {
+                if j == avoided {
+                    10_000
+                } else {
+                    0
+                }
+            })
+            .unwrap();
+        assert!(
+            !rerouted.legs()[0].junctions.contains(&avoided),
+            "a prohibitively expensive interior junction should be avoided"
+        );
+    }
+
+    #[test]
+    fn route_cache_matches_device_for_all_pairs() {
+        for d in [presets::l6(15), presets::g2x3(15)] {
+            let cache = RouteCache::new(&d);
+            for a in d.trap_ids() {
+                for b in d.trap_ids() {
+                    let direct = d.route(a, b);
+                    let cached = cache.route(a, b).cloned();
+                    assert_eq!(direct, cached, "{a}->{b}");
+                    // Second lookup hits the memo and agrees with itself.
+                    assert_eq!(cached, cache.route(a, b).cloned());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn route_cache_memoizes_errors_too() {
+        let d = presets::l6(15);
+        let cache = RouteCache::new(&d);
+        assert_eq!(
+            cache.route(TrapId(2), TrapId(2)),
+            Err(RouteError::SameTrap(TrapId(2)))
+        );
+        assert_eq!(
+            cache.route(TrapId(2), TrapId(2)),
+            Err(RouteError::SameTrap(TrapId(2)))
+        );
+    }
+
+    #[test]
+    fn route_cache_is_shareable_across_threads() {
+        let d = presets::g2x3(15);
+        let cache = RouteCache::new(&d);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for a in d.trap_ids() {
+                        for b in d.trap_ids() {
+                            if a != b {
+                                assert!(cache.route(a, b).is_ok());
+                            }
+                        }
+                    }
+                });
+            }
+        });
     }
 
     #[test]

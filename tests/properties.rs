@@ -2,31 +2,77 @@
 //! fits a device must compile and simulate with its invariants intact.
 
 use proptest::prelude::*;
+use qccd::sweep::policy_grid;
 use qccd::Toolflow;
 use qccd_circuit::{generators, qasm};
-use qccd_compiler::{compile, CompilerConfig, ReorderMethod};
+use qccd_compiler::{compile, CompilerConfig};
 use qccd_device::presets;
 use qccd_physics::PhysicalModel;
+
+/// The satellite grid property: for every (preset device × generator
+/// circuit × policy combination) cell, `compile()` output passes
+/// `simulate()` without a `SimError` and the split/merge/move
+/// bookkeeping balances.
+#[test]
+fn every_policy_combination_simulates_cleanly_on_every_preset() {
+    let devices = [presets::l6(8), presets::g2x3(8)];
+    let circuits = [
+        generators::qaoa(18, 1, 3),
+        generators::bv(&[true; 15]),
+        generators::qft(14),
+        generators::random_circuit(20, 120, 0.5, 17),
+    ];
+    let model = PhysicalModel::default();
+    for device in &devices {
+        for circuit in &circuits {
+            for config in policy_grid(2) {
+                let cell = format!(
+                    "{} × {} × {}",
+                    device.name(),
+                    circuit.name(),
+                    config.policy_label()
+                );
+                let exe = compile(circuit, device, &config)
+                    .unwrap_or_else(|e| panic!("{cell}: compile failed: {e}"));
+                let counts = exe.counts();
+                assert_eq!(counts.splits, counts.merges, "{cell}");
+                assert_eq!(counts.splits, counts.moves, "{cell}");
+                assert_eq!(
+                    counts.two_qubit_gates,
+                    circuit.two_qubit_gate_count(),
+                    "{cell}"
+                );
+                let report = qccd_sim::simulate(&exe, device, &model)
+                    .unwrap_or_else(|e| panic!("{cell}: simulate failed: {e}"));
+                assert!(
+                    report.fidelity() >= 0.0 && report.fidelity() <= 1.0,
+                    "{cell}"
+                );
+                assert!(report.total_time_us.is_finite(), "{cell}");
+            }
+        }
+    }
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// Random circuits compile and simulate on the linear topology with
-    /// conserved shuttle bookkeeping and sane metrics.
+    /// conserved shuttle bookkeeping and sane metrics, under a randomly
+    /// drawn policy pipeline.
     #[test]
     fn random_circuits_run_on_linear(
         n in 2u32..24,
         ops in 1usize..150,
         frac in 0.0f64..0.8,
         seed in 0u64..1000,
-        reorder_is in proptest::bool::ANY,
+        combo in 0usize..16,
     ) {
         let circuit = generators::random_circuit(n, ops, frac, seed);
-        let reorder = if reorder_is { ReorderMethod::IonSwap } else { ReorderMethod::GateSwap };
         let tf = Toolflow::with_config(
             presets::l6(8),
             PhysicalModel::default(),
-            CompilerConfig::with_reorder(reorder),
+            policy_grid(2)[combo],
         );
         let r = tf.run(&circuit).expect("fits and runs");
         prop_assert_eq!(r.counts.splits, r.counts.merges);

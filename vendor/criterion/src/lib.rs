@@ -2,13 +2,17 @@
 //! harness.
 //!
 //! The workspace builds offline, so this vendored crate supplies the
-//! API its three bench targets use — [`Criterion`],
+//! API its bench targets use — [`Criterion`],
 //! [`Criterion::benchmark_group`], [`Bencher::iter`], [`BenchmarkId`]
 //! and the [`criterion_group!`]/[`criterion_main!`] macros — with a
-//! simple wall-clock measurement loop instead of the real crate's
-//! statistical machinery. Each benchmark warms up once, then runs up
-//! to `sample_size` timed iterations bounded by a ~300 ms budget, and
-//! prints mean time per iteration.
+//! robust-statistics measurement loop instead of the real crate's full
+//! machinery. Each benchmark warms up once, then runs up to
+//! `sample_size` timed iterations bounded by a ~300 ms budget, and
+//! reports the **median** time per iteration plus an
+//! interquartile-trimmed mean (samples outside `[q1 − 1.5·IQR,
+//! q3 + 1.5·IQR]` are dropped as outliers and counted), so scheduler
+//! hiccups and allocator warm-up spikes do not skew the reported
+//! number the way a plain mean does.
 //!
 //! When a bench binary is invoked with `--test` (CI does this via
 //! `cargo bench -p qccd-bench -- --test`; plain `cargo test` never
@@ -139,7 +143,7 @@ impl IntoBenchmarkId for String {
 
 /// Timing loop handle passed to each benchmark closure.
 pub struct Bencher {
-    iters_done: u64,
+    samples: Vec<Duration>,
     elapsed: Duration,
     max_iters: u64,
     budget: Duration,
@@ -152,19 +156,72 @@ impl Bencher {
         loop {
             let start = Instant::now();
             let out = routine();
-            self.elapsed += start.elapsed();
+            let sample = start.elapsed();
+            self.elapsed += sample;
+            self.samples.push(sample);
             drop(black_box(out));
-            self.iters_done += 1;
-            if self.iters_done >= self.max_iters || self.elapsed >= self.budget {
+            if self.samples.len() as u64 >= self.max_iters || self.elapsed >= self.budget {
                 break;
             }
         }
     }
 }
 
+/// Robust summary of one benchmark's per-iteration samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stats {
+    /// Median time per iteration.
+    pub median: Duration,
+    /// Mean over the samples inside the Tukey fences
+    /// `[q1 − 1.5·IQR, q3 + 1.5·IQR]`.
+    pub trimmed_mean: Duration,
+    /// Samples outside the fences (excluded from `trimmed_mean`).
+    pub outliers: usize,
+    /// Total timed iterations.
+    pub iters: usize,
+}
+
+/// Computes median + interquartile-trimmed statistics over raw samples.
+/// Returns `None` for an empty sample set.
+pub fn stats(samples: &[Duration]) -> Option<Stats> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len();
+    // Nearest-rank percentile on the sorted samples.
+    let percentile = |p: f64| -> Duration {
+        let idx = ((n as f64 - 1.0) * p).round() as usize;
+        sorted[idx]
+    };
+    let median = if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        (sorted[n / 2 - 1] + sorted[n / 2]) / 2
+    };
+    let q1 = percentile(0.25);
+    let q3 = percentile(0.75);
+    let iqr = q3.saturating_sub(q1);
+    let low = q1.saturating_sub(iqr * 3 / 2);
+    let high = q3 + iqr * 3 / 2;
+    let kept: Vec<Duration> = sorted
+        .iter()
+        .copied()
+        .filter(|&s| s >= low && s <= high)
+        .collect();
+    let trimmed_mean = kept.iter().sum::<Duration>() / kept.len().max(1) as u32;
+    Some(Stats {
+        median,
+        trimmed_mean,
+        outliers: n - kept.len(),
+        iters: n,
+    })
+}
+
 fn run_one<F: FnMut(&mut Bencher)>(name: &str, test_mode: bool, sample_size: usize, f: &mut F) {
     let mut b = Bencher {
-        iters_done: 0,
+        samples: Vec::new(),
         elapsed: Duration::ZERO,
         max_iters: if test_mode {
             1
@@ -174,15 +231,13 @@ fn run_one<F: FnMut(&mut Bencher)>(name: &str, test_mode: bool, sample_size: usi
         budget: if test_mode { Duration::ZERO } else { BUDGET },
     };
     f(&mut b);
-    if b.iters_done == 0 {
-        println!("{name:<40} (no iterations)");
-        return;
+    match stats(&b.samples) {
+        None => println!("{name:<40} (no iterations)"),
+        Some(s) => println!(
+            "{name:<40} median {:>10.2?}/iter  (trimmed mean {:.2?}, {} iters, {} outliers)",
+            s.median, s.trimmed_mean, s.iters, s.outliers
+        ),
     }
-    let per_iter = b.elapsed / b.iters_done as u32;
-    println!(
-        "{name:<40} {per_iter:>12.2?}/iter  ({} iters)",
-        b.iters_done
-    );
 }
 
 /// Opaque value sink preventing the optimizer from deleting benchmark
@@ -219,7 +274,7 @@ mod tests {
     #[test]
     fn bencher_runs_at_least_once_and_respects_sample_size() {
         let mut b = Bencher {
-            iters_done: 0,
+            samples: Vec::new(),
             elapsed: Duration::ZERO,
             max_iters: 5,
             budget: Duration::from_secs(60),
@@ -227,7 +282,7 @@ mod tests {
         let mut calls = 0u64;
         b.iter(|| calls += 1);
         assert_eq!(calls, 5);
-        assert_eq!(b.iters_done, 5);
+        assert_eq!(b.samples.len(), 5);
     }
 
     #[test]
@@ -247,5 +302,55 @@ mod tests {
             g.finish();
         }
         assert_eq!(ran, 1, "test mode runs exactly one iteration");
+    }
+
+    #[test]
+    fn stats_median_odd_and_even() {
+        let ms = Duration::from_millis;
+        let s = stats(&[ms(3), ms(1), ms(2)]).unwrap();
+        assert_eq!(s.median, ms(2));
+        let s = stats(&[ms(1), ms(2), ms(3), ms(4)]).unwrap();
+        assert_eq!(s.median, ms(2) + Duration::from_micros(500));
+    }
+
+    #[test]
+    fn stats_trims_outliers_from_the_mean() {
+        let ms = Duration::from_millis;
+        // 9 well-behaved samples around 10 ms plus one 500 ms spike: the
+        // spike sits far outside the Tukey fences, so the median and the
+        // trimmed mean both stay near 10 ms while a plain mean would be
+        // dragged to ~59 ms.
+        let mut samples = vec![ms(10); 9];
+        samples.push(ms(500));
+        let s = stats(&samples).unwrap();
+        assert_eq!(s.iters, 10);
+        assert_eq!(s.outliers, 1);
+        assert_eq!(s.median, ms(10));
+        assert_eq!(s.trimmed_mean, ms(10));
+        let plain_mean: Duration = samples.iter().sum::<Duration>() / samples.len() as u32;
+        assert!(plain_mean >= ms(50), "the spike skews a plain mean");
+    }
+
+    #[test]
+    fn stats_keeps_everything_when_spread_is_tame() {
+        let us = Duration::from_micros;
+        let samples: Vec<Duration> = (0..20).map(|i| us(100 + i)).collect();
+        let s = stats(&samples).unwrap();
+        assert_eq!(s.outliers, 0);
+        assert_eq!(s.iters, 20);
+        assert!(s.trimmed_mean >= us(100) && s.trimmed_mean <= us(120));
+    }
+
+    #[test]
+    fn stats_handles_degenerate_inputs() {
+        assert_eq!(stats(&[]), None);
+        let one = stats(&[Duration::from_millis(7)]).unwrap();
+        assert_eq!(one.median, Duration::from_millis(7));
+        assert_eq!(one.trimmed_mean, Duration::from_millis(7));
+        assert_eq!(one.outliers, 0);
+        // All-identical samples: IQR is zero, nothing is trimmed.
+        let same = stats(&[Duration::from_millis(4); 8]).unwrap();
+        assert_eq!(same.outliers, 0);
+        assert_eq!(same.trimmed_mean, Duration::from_millis(4));
     }
 }
