@@ -1,0 +1,120 @@
+//! Criterion benchmarks of the experiment engine against the direct
+//! `parallel_map` sweep it is built on: the engine's grid bookkeeping,
+//! job hashing and batching must stay a small constant overhead, its
+//! model-sharing groups must beat naive per-job compilation, and a warm
+//! result cache must beat both.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qccd::engine::{Engine, EngineOptions, JobGrid};
+use qccd::sweep::parallel_map;
+use qccd::Toolflow;
+use qccd_circuit::{generators, Circuit};
+use qccd_compiler::CompilerConfig;
+use qccd_device::presets;
+use qccd_physics::{GateImpl, PhysicalModel};
+
+const CAPS: [u32; 3] = [8, 10, 12];
+
+fn suite() -> Vec<Circuit> {
+    vec![generators::bv(&[true; 19]), generators::qaoa(20, 1, 4)]
+}
+
+fn grid() -> JobGrid {
+    JobGrid::from_axes(
+        suite(),
+        CAPS.iter().map(|&c| presets::l6(c)).collect(),
+        vec![CompilerConfig::default()],
+        vec![PhysicalModel::default()],
+    )
+}
+
+/// The baseline: the same (circuit × capacity) cells through a bare
+/// `parallel_map` over `Toolflow::run`, the pre-engine sweep shape.
+fn bench_direct_parallel_map(c: &mut Criterion) {
+    let suite = suite();
+    let cells: Vec<(usize, u32)> = (0..suite.len())
+        .flat_map(|a| CAPS.iter().map(move |&cap| (a, cap)))
+        .collect();
+    c.bench_function("engine/direct_parallel_map", |b| {
+        b.iter(|| {
+            parallel_map(&cells, |&(a, cap)| {
+                Toolflow::new(presets::l6(cap), PhysicalModel::default())
+                    .run(&suite[a])
+                    .ok()
+            })
+        });
+    });
+}
+
+/// The same cells through the engine (grid construction + hashing +
+/// batching included) — the overhead-vs-`parallel_map` comparison the
+/// engine must keep small.
+fn bench_engine_uncached(c: &mut Criterion) {
+    c.bench_function("engine/engine_uncached", |b| {
+        b.iter(|| Engine::new().run(&grid()));
+    });
+}
+
+/// Jobs differing only in gate model: the engine compiles once per
+/// group where the direct sweep compiles per cell.
+fn bench_engine_model_sharing(c: &mut Criterion) {
+    let suite = suite();
+    let models: Vec<PhysicalModel> = GateImpl::ALL
+        .iter()
+        .map(|&g| PhysicalModel::with_gate(g))
+        .collect();
+    let cells: Vec<(usize, u32, usize)> = (0..suite.len())
+        .flat_map(|a| {
+            CAPS.iter()
+                .flat_map(move |&cap| (0..GateImpl::ALL.len()).map(move |m| (a, cap, m)))
+        })
+        .collect();
+    c.bench_function("engine/gate_axis_direct", |b| {
+        b.iter(|| {
+            parallel_map(&cells, |&(a, cap, m)| {
+                Toolflow::new(presets::l6(cap), models[m])
+                    .run(&suite[a])
+                    .ok()
+            })
+        });
+    });
+    c.bench_function("engine/gate_axis_engine_shared_compile", |b| {
+        b.iter(|| {
+            let grid = JobGrid::from_axes(
+                suite.clone(),
+                CAPS.iter().map(|&c| presets::l6(c)).collect(),
+                vec![CompilerConfig::default()],
+                models.clone(),
+            );
+            Engine::new().run(&grid)
+        });
+    });
+}
+
+/// A fully warm result cache: every job served from disk.
+fn bench_engine_cached(c: &mut Criterion) {
+    let dir = std::env::temp_dir().join(format!("qccd-bench-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let engine = Engine::with_options(EngineOptions {
+        cache_dir: Some(dir.clone()),
+        ..EngineOptions::default()
+    });
+    engine.run(&grid()); // warm
+    c.bench_function("engine/engine_warm_cache", |b| {
+        b.iter(|| {
+            let run = engine.run(&grid());
+            assert_eq!(run.stats.executed, 0);
+            run
+        });
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(
+    benches,
+    bench_direct_parallel_map,
+    bench_engine_uncached,
+    bench_engine_model_sharing,
+    bench_engine_cached
+);
+criterion_main!(benches);

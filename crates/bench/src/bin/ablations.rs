@@ -1,64 +1,12 @@
 //! Runs the beyond-the-paper ablation studies (DESIGN.md §6): mapping
 //! buffer, heating-model variant, junction-cost sensitivity, device
 //! size and the compiler policy-pipeline matrix. Accepts the usual
-//! `--caps`/`--json` flags where applicable, plus
+//! `--caps`/`--json`/`--cache` flags where applicable, plus
 //! `--mapping`/`--routing`/`--reorder`/`--eviction` to select the
 //! compiler policies the A1–A4 studies run under (A5 always sweeps the
-//! full policy grid).
-
-use qccd::experiments::ablations;
-use qccd_circuit::generators;
-use qccd_compiler::Pipeline;
+//! full policy grid). A two-line wrapper over the spec-driven engine
+//! (the `ExperimentSpec::ablation_*` presets).
 
 fn main() {
-    let args = qccd_bench::HarnessArgs::parse();
-    args.forbid(
-        "ablations",
-        &[
-            "--quick",
-            "--caps",
-            "--config",
-            "--mapping",
-            "--routing",
-            "--reorder",
-            "--eviction",
-        ],
-    );
-    let caps = args.capacities();
-    let base = args.load_config_or_default();
-    eprintln!("compiler: {}", Pipeline::from_config(&base).describe());
-
-    let supremacy = generators::supremacy_paper();
-    let squareroot = generators::square_root_paper();
-    let qft = generators::qft_paper();
-
-    eprintln!("A1: mapping buffer sweep (supremacy, L6 cap 20)...");
-    let a1 = ablations::buffer_sweep(&supremacy, 20, &[0, 1, 2, 3, 4], base);
-    println!("{a1}");
-
-    eprintln!("A2: heating-model ablation (supremacy)...");
-    let a2 = ablations::heating_ablation(&supremacy, &caps, base);
-    println!("{a2}");
-
-    eprintln!("A3: junction-cost sensitivity (squareroot, cap 20)...");
-    let a3 = ablations::junction_cost_sweep(&squareroot, 20, &[1, 2, 4, 8], base);
-    println!("{a3}");
-
-    eprintln!("A4: device-size sweep (qft, capacity 25, 50-250 device qubits)...");
-    let a4 = ablations::device_size_sweep(&qft, &[3, 4, 5, 6, 8, 10], 25, base);
-    println!("{a4}");
-
-    eprintln!("A5: compiler policy-pipeline matrix (qft, caps 16/24)...");
-    let a5 = ablations::policy_ablation(&qft, &[16, 24], base.buffer_slots);
-    println!("{a5}");
-
-    if let Some(path) = args.json.as_deref() {
-        let bundle = serde_json::json!({"a1": a1, "a2": a2, "a3": a3, "a4": a4, "a5": a5});
-        std::fs::write(
-            path,
-            serde_json::to_string_pretty(&bundle).expect("serializes"),
-        )
-        .expect("json written");
-        eprintln!("wrote {}", path.display());
-    }
+    qccd_bench::artifact_main("ablations")
 }

@@ -1,34 +1,7 @@
-//! Regenerates every table and figure of the paper's evaluation in one go.
+//! Regenerates every table and figure of the paper's evaluation in one
+//! go. A two-line wrapper over the spec-driven engine (one preset
+//! `ExperimentSpec` per artifact, sharing the `--cache` directory).
 
 fn main() {
-    let args = qccd_bench::HarnessArgs::parse();
-    args.forbid("all", &["--quick", "--caps"]);
-    let caps = args.capacities();
-
-    let t1 = qccd::experiments::table1::generate_paper();
-    println!("{t1}");
-    let t2 = qccd::experiments::table2::generate();
-    println!("{t2}");
-
-    eprintln!("running fig6 ({} capacities)...", caps.len());
-    let f6 = qccd::experiments::fig6::generate(&caps);
-    println!("{f6}");
-    eprintln!("running fig7...");
-    let f7 = qccd::experiments::fig7::generate(&caps);
-    println!("{f7}");
-    eprintln!("running fig8...");
-    let f8 = qccd::experiments::fig8::generate(&caps);
-    println!("{f8}");
-
-    if let Some(path) = args.json.as_deref() {
-        let bundle = serde_json::json!({
-            "table1": t1, "table2": t2, "fig6": f6, "fig7": f7, "fig8": f8,
-        });
-        std::fs::write(
-            path,
-            serde_json::to_string_pretty(&bundle).expect("serializes"),
-        )
-        .expect("json written");
-        eprintln!("wrote {}", path.display());
-    }
+    qccd_bench::artifact_main("all")
 }

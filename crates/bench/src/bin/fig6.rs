@@ -3,29 +3,10 @@
 //! With `--device my_topology.json` the sweep runs on the custom
 //! topology instead of L6 (each swept capacity rescales every trap of
 //! the loaded device); `--config cfg.json` overrides the compiler
-//! configuration.
-
-use qccd::experiments::fig6;
-use qccd_circuit::generators;
+//! configuration; `--cache dir` reuses finished design points across
+//! runs. A two-line wrapper over the spec-driven engine
+//! (`ExperimentSpec::fig6`).
 
 fn main() {
-    let args = qccd_bench::HarnessArgs::parse();
-    args.forbid("fig6", &["--quick", "--caps", "--device", "--config"]);
-    let caps = args.capacities();
-    let config = args.load_config_or_default();
-    let fig = match args.load_device() {
-        Some(template) => fig6::generate_on(
-            &generators::paper_suite(),
-            &caps,
-            |cap| template.with_uniform_capacity(cap),
-            config,
-        ),
-        None => fig6::generate_on(
-            &generators::paper_suite(),
-            &caps,
-            qccd_device::presets::l6,
-            config,
-        ),
-    };
-    qccd_bench::emit(&fig, args.json.as_deref());
+    qccd_bench::artifact_main("fig6")
 }

@@ -2,18 +2,9 @@
 //!
 //! The study's whole point is the fixed L6/G2x3 comparison, so it takes
 //! no `--device`; `--config cfg.json` overrides the compiler
-//! configuration for both topologies.
-
-use qccd::experiments::fig7;
-use qccd_circuit::generators;
+//! configuration for both topologies. A two-line wrapper over the
+//! spec-driven engine (`ExperimentSpec::fig7`).
 
 fn main() {
-    let args = qccd_bench::HarnessArgs::parse();
-    args.forbid("fig7", &["--quick", "--caps", "--config"]);
-    let fig = fig7::generate_on(
-        &generators::paper_suite(),
-        &args.capacities(),
-        args.load_config_or_default(),
-    );
-    qccd_bench::emit(&fig, args.json.as_deref());
+    qccd_bench::artifact_main("fig7")
 }

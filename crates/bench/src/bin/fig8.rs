@@ -2,20 +2,10 @@
 //!
 //! With `--device my_topology.json` the study runs on the custom
 //! topology instead of L6. The study itself sweeps gate implementations
-//! and reorder methods, so `--config`/`--model` are rejected.
-
-use qccd::experiments::fig8;
-use qccd_circuit::generators;
+//! and reorder methods, so `--config`/`--model` are rejected. A
+//! two-line wrapper over the spec-driven engine
+//! (`ExperimentSpec::fig8`).
 
 fn main() {
-    let args = qccd_bench::HarnessArgs::parse();
-    args.forbid("fig8", &["--quick", "--caps", "--device"]);
-    let caps = args.capacities();
-    let fig = match args.load_device() {
-        Some(template) => fig8::generate_on(&generators::paper_suite(), &caps, |cap| {
-            template.with_uniform_capacity(cap)
-        }),
-        None => fig8::generate_on(&generators::paper_suite(), &caps, qccd_device::presets::l6),
-    };
-    qccd_bench::emit(&fig, args.json.as_deref());
+    qccd_bench::artifact_main("fig8")
 }

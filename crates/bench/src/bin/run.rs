@@ -1,7 +1,13 @@
-//! Runs the Table II benchmark suite end to end on a JSON-loaded
-//! device — the "custom devices from JSON" entry point of the toolflow.
+//! The spec-driven engine entry point.
 //!
 //! ```text
+//! # Execute any experiment spec (presets live in examples/experiments/):
+//! cargo run --release -p qccd-bench --bin run -- --spec examples/experiments/fig6.json
+//! cargo run --release -p qccd-bench --bin run -- --spec my_study.json \
+//!     --quick --cache /tmp/qccd-cache --json out.json
+//!
+//! # Legacy custom-device mode: the Table II suite end to end on a
+//! # JSON-loaded device:
 //! cargo run --release -p qccd-bench --bin run -- \
 //!     --device examples/devices/l6_cap20.json \
 //!     [--config cfg.json] [--model model.json] [--json report.json] \
@@ -10,88 +16,12 @@
 //!     [--reorder gs|is] [--eviction furthest-next-use|chain-end]
 //! ```
 //!
-//! The policy flags select the compiler pipeline's seams directly (they
-//! override any `--config` file). Prints one row per benchmark (time,
-//! fidelity, op counts); infeasible programs report their compile error
-//! instead of aborting the run. `--json` additionally dumps the full
-//! per-benchmark `SimReport`s.
-
-use qccd::Toolflow;
-use qccd_circuit::generators::Benchmark;
-use qccd_compiler::Pipeline;
+//! `--quick`/`--caps` override a spec's capacities axis, `--device`/
+//! `--config`/`--model` its axes, and the policy flags its explicit
+//! configs. With `--cache dir`, finished jobs are skipped on repeated
+//! runs (the engine reports `executed 0 of N jobs` on a full cache
+//! hit).
 
 fn main() {
-    let args = qccd_bench::HarnessArgs::parse();
-    args.forbid(
-        "run",
-        &[
-            "--device",
-            "--config",
-            "--model",
-            "--mapping",
-            "--routing",
-            "--reorder",
-            "--eviction",
-        ],
-    );
-    let Some(device) = args.load_device() else {
-        eprintln!("error: `run` requires --device <file.json>");
-        eprintln!("       (see examples/devices/ and the README's \"Custom devices from JSON\")");
-        std::process::exit(2);
-    };
-    let config = args.load_config_or_default();
-    let model = args.load_model_or_default();
-
-    println!("device: {device}");
-    println!(
-        "config: {}; gates: {}",
-        Pipeline::from_config(&config).describe(),
-        model.gate_impl
-    );
-    println!(
-        "{:<14}{:>10}{:>12}{:>9}{:>9}{:>9}",
-        "app", "time_s", "fidelity", "ms", "swaps", "moves"
-    );
-
-    let tf = Toolflow::with_config(device, model, config);
-    let mut reports = Vec::new();
-    for b in Benchmark::ALL {
-        let circuit = b.build();
-        match tf.run(&circuit) {
-            Err(e) => {
-                println!("{:<14}  {e}", b.name());
-                reports.push((b.name().to_owned(), None));
-            }
-            Ok(r) => {
-                println!(
-                    "{:<14}{:>10.4}{:>12.4e}{:>9}{:>9}{:>9}",
-                    b.name(),
-                    r.total_time_s(),
-                    r.fidelity(),
-                    r.ms_executions,
-                    r.counts.swap_gates,
-                    r.counts.moves,
-                );
-                reports.push((b.name().to_owned(), Some(r)));
-            }
-        }
-    }
-
-    if let Some(path) = args.json.as_deref() {
-        let bundle = serde_json::json!({
-            "device": tf.device(),
-            "config": tf.config(),
-            "model": tf.model(),
-            "reports": reports,
-        });
-        std::fs::write(
-            path,
-            serde_json::to_string_pretty(&bundle).expect("reports serialize"),
-        )
-        .unwrap_or_else(|e| {
-            eprintln!("error: could not write {}: {e}", path.display());
-            std::process::exit(1);
-        });
-        eprintln!("wrote {}", path.display());
-    }
+    qccd_bench::run_main()
 }

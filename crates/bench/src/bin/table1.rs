@@ -1,11 +1,9 @@
 //! Regenerates Table I (shuttling operation times).
 //!
 //! With `--model model.json` the table renders the loaded model's
-//! shuttle times instead of the published Table I values.
+//! shuttle times instead of the published Table I values. A two-line
+//! wrapper over the spec-driven engine (`ExperimentSpec::table1`).
 
 fn main() {
-    let args = qccd_bench::HarnessArgs::parse();
-    args.forbid("table1", &["--model"]);
-    let table = qccd::experiments::table1::generate(&args.load_model_or_default().shuttle);
-    qccd_bench::emit(&table, args.json.as_deref());
+    qccd_bench::artifact_main("table1")
 }

@@ -1,8 +1,6 @@
-//! Regenerates Table II (benchmark suite characteristics).
+//! Regenerates Table II (benchmark suite characteristics). A two-line
+//! wrapper over the spec-driven engine (`ExperimentSpec::table2`).
 
 fn main() {
-    let args = qccd_bench::HarnessArgs::parse();
-    args.forbid("table2", &[]);
-    let table = qccd::experiments::table2::generate();
-    qccd_bench::emit(&table, args.json.as_deref());
+    qccd_bench::artifact_main("table2")
 }

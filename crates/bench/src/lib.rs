@@ -1,32 +1,40 @@
 //! Shared harness utilities for the table/figure regeneration binaries.
 //!
-//! Each binary (`table1`, `table2`, `fig6`, `fig7`, `fig8`, `all`,
-//! `run`, `ablations`) prints the paper artifact as CSV-like text and
-//! can additionally dump JSON:
+//! Since the experiment-engine redesign every artifact binary
+//! (`table1`, `table2`, `fig6`, `fig7`, `fig8`, `all`, `ablations`) is
+//! a two-line wrapper over [`artifact_main`], which builds the matching
+//! [`ExperimentSpec`] preset, applies the CLI overrides, runs it
+//! through the engine and emits the artifact through the CSV/JSON
+//! sinks. The `run` binary is the generic spec-driven entry point:
 //!
 //! ```text
-//! cargo run --release -p qccd-bench --bin fig6            # full sweep
-//! cargo run --release -p qccd-bench --bin fig6 -- --quick # 3 capacities
-//! cargo run --release -p qccd-bench --bin fig8 -- --caps 14,20,26 --json fig8.json
+//! cargo run --release -p qccd-bench --bin fig6              # full sweep
+//! cargo run --release -p qccd-bench --bin fig6 -- --quick   # 3 capacities
+//! cargo run --release -p qccd-bench --bin run -- --spec examples/experiments/fig6.json
+//! cargo run --release -p qccd-bench --bin run -- --spec examples/experiments/fig6.json \
+//!     --quick --cache /tmp/qccd-cache --json fig6.json      # cached re-runs skip all jobs
+//! cargo run --release -p qccd-bench --bin run -- --device examples/devices/l6_cap20.json
 //! ```
 //!
 //! Device descriptions, compiler configs and physical models can be
 //! loaded from JSON files instead of the built-in presets where a study
 //! supports it, and the compiler's policy seams can be selected
-//! directly from the command line on the `run` and `ablations` bins:
-//!
-//! ```text
-//! cargo run --release -p qccd-bench --bin run  -- --device examples/devices/l6_cap20.json
-//! cargo run --release -p qccd-bench --bin run  -- \
-//!     --device examples/devices/l6_cap20.json \
-//!     --mapping usage-weighted --routing lookahead-congestion --eviction chain-end
-//! cargo run --release -p qccd-bench --bin fig6 -- --device my_topology.json --quick
-//! ```
+//! directly from the command line on the `run` and `ablations` bins
+//! (`--mapping usage-weighted --routing lookahead-congestion …`).
+//! Which binary accepts which flag is declared once in [`BIN_FLAGS`];
+//! anything else is rejected with a usage error so nothing is ever
+//! silently ignored.
 
 #![warn(missing_docs)]
 
+use qccd::engine::{
+    run_spec, Artifact, ArtifactSink, ConfigSpec, CsvSink, DeviceSpec, Engine, EngineOptions,
+    ExperimentSpec, JsonSink, ModelSpec, Projection, SpecRun,
+};
 use qccd::experiments::{PAPER_CAPACITIES, QUICK_CAPACITIES};
-use qccd_compiler::{CompilerConfig, EvictionKind, MappingKind, ReorderMethod, RoutingKind};
+use qccd_compiler::{
+    CompilerConfig, EvictionKind, MappingKind, Pipeline, ReorderMethod, RoutingKind,
+};
 use qccd_device::Device;
 use qccd_physics::PhysicalModel;
 use serde::Serialize;
@@ -41,6 +49,11 @@ pub struct HarnessArgs {
     pub caps: Option<Vec<u32>>,
     /// Where to additionally dump the artifact as JSON.
     pub json: Option<PathBuf>,
+    /// Experiment spec file driving the generic `run --spec` mode.
+    pub spec: Option<PathBuf>,
+    /// Engine result-cache directory (repeated runs skip finished
+    /// jobs).
+    pub cache: Option<PathBuf>,
     /// JSON device description replacing the study's preset topology.
     pub device: Option<PathBuf>,
     /// JSON compiler configuration replacing the study's default.
@@ -56,6 +69,51 @@ pub struct HarnessArgs {
     /// Eviction-policy override (pipeline seam 4).
     pub eviction: Option<EvictionKind>,
 }
+
+/// The declarative allowed-flags table: which binary consumes which
+/// flag (`--json` is accepted everywhere). [`HarnessArgs::validate`]
+/// checks a parsed argument set against this table, replacing the
+/// per-bin rejection lists each binary used to re-implement.
+pub const BIN_FLAGS: &[(&str, &[&str])] = &[
+    ("table1", &["--model"]),
+    ("table2", &[]),
+    (
+        "fig6",
+        &["--quick", "--caps", "--device", "--config", "--cache"],
+    ),
+    ("fig7", &["--quick", "--caps", "--config", "--cache"]),
+    ("fig8", &["--quick", "--caps", "--device", "--cache"]),
+    ("all", &["--quick", "--caps", "--cache"]),
+    (
+        "ablations",
+        &[
+            "--quick",
+            "--caps",
+            "--config",
+            "--mapping",
+            "--routing",
+            "--reorder",
+            "--eviction",
+            "--cache",
+        ],
+    ),
+    (
+        "run",
+        &[
+            "--spec",
+            "--quick",
+            "--caps",
+            "--device",
+            "--config",
+            "--model",
+            "--mapping",
+            "--routing",
+            "--reorder",
+            "--eviction",
+            "--cache",
+        ],
+    ),
+];
 
 impl HarnessArgs {
     /// Parses `std::env::args()`. Unknown flags abort with a usage
@@ -77,6 +135,11 @@ impl HarnessArgs {
     {
         let mut out = HarnessArgs::default();
         let mut args = args.into_iter();
+        let path = |flag: &str, args: &mut dyn Iterator<Item = String>| {
+            args.next()
+                .map(PathBuf::from)
+                .ok_or(format!("{flag} needs a path"))
+        };
         while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--quick" => out.quick = true,
@@ -86,22 +149,12 @@ impl HarnessArgs {
                         list.split(',').map(|s| s.trim().parse()).collect();
                     out.caps = Some(caps.map_err(|_| "--caps expects e.g. 14,22,30")?);
                 }
-                "--json" => {
-                    let path = args.next().ok_or("--json needs a path")?;
-                    out.json = Some(PathBuf::from(path));
-                }
-                "--device" => {
-                    let path = args.next().ok_or("--device needs a path")?;
-                    out.device = Some(PathBuf::from(path));
-                }
-                "--config" => {
-                    let path = args.next().ok_or("--config needs a path")?;
-                    out.config = Some(PathBuf::from(path));
-                }
-                "--model" => {
-                    let path = args.next().ok_or("--model needs a path")?;
-                    out.model = Some(PathBuf::from(path));
-                }
+                "--json" => out.json = Some(path("--json", &mut args)?),
+                "--spec" => out.spec = Some(path("--spec", &mut args)?),
+                "--cache" => out.cache = Some(path("--cache", &mut args)?),
+                "--device" => out.device = Some(path("--device", &mut args)?),
+                "--config" => out.config = Some(path("--config", &mut args)?),
+                "--model" => out.model = Some(path("--model", &mut args)?),
                 "--mapping" => {
                     let name = args.next().ok_or("--mapping needs a policy name")?;
                     out.mapping = Some(name.parse().map_err(|e| format!("{e}"))?);
@@ -125,6 +178,58 @@ impl HarnessArgs {
         Ok(out)
     }
 
+    /// The flags present in this argument set (spelled as given on the
+    /// command line).
+    pub fn given_flags(&self) -> Vec<&'static str> {
+        let mut out = Vec::new();
+        for (flag, given) in [
+            ("--quick", self.quick),
+            ("--caps", self.caps.is_some()),
+            ("--spec", self.spec.is_some()),
+            ("--cache", self.cache.is_some()),
+            ("--device", self.device.is_some()),
+            ("--config", self.config.is_some()),
+            ("--model", self.model.is_some()),
+            ("--mapping", self.mapping.is_some()),
+            ("--routing", self.routing.is_some()),
+            ("--reorder", self.reorder.is_some()),
+            ("--eviction", self.eviction.is_some()),
+        ] {
+            if given {
+                out.push(flag);
+            }
+        }
+        out
+    }
+
+    /// Checks every given flag against `bin`'s row of [`BIN_FLAGS`],
+    /// aborting with a usage error on the first unsupported one, so
+    /// nothing is ever silently ignored (`--json` is always accepted).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin` has no [`BIN_FLAGS`] row (a harness bug, not a
+    /// user error).
+    pub fn validate(&self, bin: &str) {
+        let supported = BIN_FLAGS
+            .iter()
+            .find(|(name, _)| *name == bin)
+            .map(|(_, flags)| *flags)
+            .unwrap_or_else(|| panic!("binary `{bin}` is missing from BIN_FLAGS"));
+        for flag in self.given_flags() {
+            if !supported.contains(&flag) {
+                let hint = if supported.is_empty() {
+                    "only --json".to_owned()
+                } else {
+                    format!("--json, {}", supported.join(", "))
+                };
+                usage(&format!(
+                    "`{bin}` does not support {flag} (supported here: {hint})"
+                ));
+            }
+        }
+    }
+
     /// The capacity sweep to run.
     pub fn capacities(&self) -> Vec<u32> {
         if let Some(caps) = &self.caps {
@@ -134,6 +239,16 @@ impl HarnessArgs {
         } else {
             PAPER_CAPACITIES.to_vec()
         }
+    }
+
+    /// An engine configured from the CLI: result cache from `--cache`,
+    /// per-batch progress on stderr.
+    pub fn engine(&self) -> Engine {
+        Engine::with_options(EngineOptions {
+            cache_dir: self.cache.clone(),
+            batch_size: 0,
+            verbose: true,
+        })
     }
 
     /// Loads the `--device` file, or `None` when the flag was not given.
@@ -174,6 +289,15 @@ impl HarnessArgs {
         config
     }
 
+    /// Whether any `--mapping`/`--routing`/`--reorder`/`--eviction`
+    /// override was given.
+    pub fn has_policy_overrides(&self) -> bool {
+        self.mapping.is_some()
+            || self.routing.is_some()
+            || self.reorder.is_some()
+            || self.eviction.is_some()
+    }
+
     /// Loads the `--model` file, or the paper's default physical model.
     pub fn load_model_or_default(&self) -> PhysicalModel {
         self.model
@@ -183,32 +307,33 @@ impl HarnessArgs {
             })
     }
 
-    /// Aborts with a usage error if a flag this binary does not consume
-    /// was given, so nothing is ever silently ignored. `supported`
-    /// lists the flags the binary acts on (`--json` is always
-    /// supported).
-    pub fn forbid(&self, bin: &str, supported: &[&str]) {
-        for (flag, given) in [
-            ("--quick", self.quick),
-            ("--caps", self.caps.is_some()),
-            ("--device", self.device.is_some()),
-            ("--config", self.config.is_some()),
-            ("--model", self.model.is_some()),
-            ("--mapping", self.mapping.is_some()),
-            ("--routing", self.routing.is_some()),
-            ("--reorder", self.reorder.is_some()),
-            ("--eviction", self.eviction.is_some()),
-        ] {
-            if given && !supported.contains(&flag) {
-                let hint = if supported.is_empty() {
-                    "only --json".to_owned()
-                } else {
-                    format!("--json, {}", supported.join(", "))
-                };
-                usage(&format!(
-                    "`{bin}` does not support {flag} (supported here: {hint})"
-                ));
+    /// Rewrites `spec`'s axes from the CLI overrides: `--caps`/`--quick`
+    /// replace the capacities, `--device` the device axis, `--config`
+    /// (or any policy flag) the config axis, `--model` the model axis.
+    pub fn apply_to_spec(&self, spec: &mut ExperimentSpec) {
+        if self.caps.is_some() || self.quick {
+            spec.capacities = self.capacities();
+        }
+        if let Some(path) = &self.device {
+            spec.devices = vec![DeviceSpec::File {
+                path: path.display().to_string(),
+            }];
+        }
+        if self.config.is_some() {
+            spec.configs = vec![ConfigSpec::Config(self.load_config_or_default())];
+        } else if self.has_policy_overrides() {
+            // Steer the policy seams of every explicit config in place
+            // (a policy-grid axis entry already sweeps all seams).
+            for entry in &mut spec.configs {
+                if let ConfigSpec::Config(c) = entry {
+                    *c = self.apply_policies(*c);
+                }
             }
+        }
+        if let Some(path) = &self.model {
+            spec.models = vec![ModelSpec::File {
+                path: path.display().to_string(),
+            }];
         }
     }
 }
@@ -228,6 +353,7 @@ fn usage(message: &str) -> ! {
     }
     eprintln!(
         "usage: <bin> [--quick] [--caps 14,22,30] [--json out.json] \
+         [--spec experiment.json] [--cache dir] \
          [--device dev.json] [--config cfg.json] [--model model.json] \
          [--mapping round-robin|usage-weighted] \
          [--routing greedy-shortest|lookahead-congestion] \
@@ -237,7 +363,8 @@ fn usage(message: &str) -> ! {
     std::process::exit(if message.is_empty() { 0 } else { 2 });
 }
 
-/// Prints the artifact and optionally writes it as JSON.
+/// Prints the artifact and optionally writes it as JSON (legacy helper;
+/// the engine-backed path is [`emit_artifact`]).
 pub fn emit<T: std::fmt::Display + Serialize>(artifact: &T, json: Option<&Path>) {
     println!("{artifact}");
     if let Some(path) = json {
@@ -246,6 +373,256 @@ pub fn emit<T: std::fmt::Display + Serialize>(artifact: &T, json: Option<&Path>)
             eprintln!("error: could not write {}: {e}", path.display());
             std::process::exit(1);
         }
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+/// Emits an engine artifact through the CSV sink (stdout) and, when a
+/// path is given, the JSON sink — the same bytes the goldens pin.
+pub fn emit_artifact(artifact: &Artifact, json: Option<&Path>) {
+    CsvSink::new(std::io::stdout().lock())
+        .emit(artifact)
+        .expect("stdout is writable");
+    if let Some(path) = json {
+        if let Err(e) = JsonSink::new(path).emit(artifact) {
+            eprintln!("error: could not write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+/// Runs a spec on the engine, aborting with a readable message on spec
+/// errors, and reporting the run stats on stderr.
+fn run_spec_or_die(spec: &ExperimentSpec, engine: &Engine) -> SpecRun {
+    let run = run_spec(spec, engine).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(2);
+    });
+    eprintln!("engine[{}]: {}", spec.name, run.stats.summary());
+    run
+}
+
+/// The shared driver behind every artifact binary: builds the preset
+/// [`ExperimentSpec`] for `bin`, applies the CLI overrides, executes it
+/// on the engine and emits the artifact. `all` and `ablations` run
+/// their artifact sequence through the same engine (sharing one result
+/// cache when `--cache` is given).
+pub fn artifact_main(bin: &str) {
+    let args = HarnessArgs::parse();
+    args.validate(bin);
+    let engine = args.engine();
+    match bin {
+        "table1" | "table2" | "fig6" | "fig7" | "fig8" => {
+            let mut spec = match bin {
+                "table1" => ExperimentSpec::table1(),
+                "table2" => ExperimentSpec::table2(),
+                "fig6" => ExperimentSpec::fig6(&args.capacities()),
+                "fig7" => ExperimentSpec::fig7(&args.capacities()),
+                _ => ExperimentSpec::fig8(&args.capacities()),
+            };
+            args.apply_to_spec(&mut spec);
+            let run = run_spec_or_die(&spec, &engine);
+            emit_artifact(&run.artifact, args.json.as_deref());
+        }
+        "all" => all_main(&args, &engine),
+        "ablations" => ablations_main(&args, &engine),
+        other => panic!("artifact_main does not drive `{other}`"),
+    }
+}
+
+/// Regenerates every paper artifact in one process (the `all` binary).
+fn all_main(args: &HarnessArgs, engine: &Engine) {
+    let caps = args.capacities();
+
+    let t1 = run_spec_or_die(&ExperimentSpec::table1(), engine)
+        .artifact
+        .into_table();
+    println!("{t1}");
+    let t2 = run_spec_or_die(&ExperimentSpec::table2(), engine)
+        .artifact
+        .into_table();
+    println!("{t2}");
+
+    eprintln!("running fig6 ({} capacities)...", caps.len());
+    let f6 = run_spec_or_die(&ExperimentSpec::fig6(&caps), engine)
+        .artifact
+        .into_figure();
+    println!("{f6}");
+    eprintln!("running fig7...");
+    let f7 = run_spec_or_die(&ExperimentSpec::fig7(&caps), engine)
+        .artifact
+        .into_figure();
+    println!("{f7}");
+    eprintln!("running fig8...");
+    let f8 = run_spec_or_die(&ExperimentSpec::fig8(&caps), engine)
+        .artifact
+        .into_figure();
+    println!("{f8}");
+
+    if let Some(path) = args.json.as_deref() {
+        let bundle = serde_json::json!({
+            "table1": t1, "table2": t2, "fig6": f6, "fig7": f7, "fig8": f8,
+        });
+        std::fs::write(
+            path,
+            serde_json::to_string_pretty(&bundle).expect("serializes"),
+        )
+        .expect("json written");
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+/// Runs the five ablation studies (the `ablations` binary).
+fn ablations_main(args: &HarnessArgs, engine: &Engine) {
+    let caps = args.capacities();
+    let base = args.load_config_or_default();
+    eprintln!("compiler: {}", Pipeline::from_config(&base).describe());
+
+    eprintln!("A1: mapping buffer sweep (supremacy, L6 cap 20)...");
+    let a1 = run_spec_or_die(&ExperimentSpec::ablation_buffer(&base), engine)
+        .artifact
+        .into_figure();
+    println!("{a1}");
+
+    eprintln!("A2: heating-model ablation (supremacy)...");
+    let a2 = run_spec_or_die(&ExperimentSpec::ablation_heating(&caps, &base), engine)
+        .artifact
+        .into_figure();
+    println!("{a2}");
+
+    eprintln!("A3: junction-cost sensitivity (squareroot, cap 20)...");
+    let a3 = run_spec_or_die(&ExperimentSpec::ablation_junction(&base), engine)
+        .artifact
+        .into_figure();
+    println!("{a3}");
+
+    eprintln!("A4: device-size sweep (qft, capacity 25, 50-250 device qubits)...");
+    let a4 = run_spec_or_die(&ExperimentSpec::ablation_device_size(&base), engine)
+        .artifact
+        .into_figure();
+    println!("{a4}");
+
+    eprintln!("A5: compiler policy-pipeline matrix (qft, caps 16/24)...");
+    let a5 = run_spec_or_die(&ExperimentSpec::ablation_policy(base.buffer_slots), engine)
+        .artifact
+        .into_figure();
+    println!("{a5}");
+
+    if let Some(path) = args.json.as_deref() {
+        let bundle = serde_json::json!({"a1": a1, "a2": a2, "a3": a3, "a4": a4, "a5": a5});
+        std::fs::write(
+            path,
+            serde_json::to_string_pretty(&bundle).expect("serializes"),
+        )
+        .expect("json written");
+        eprintln!("wrote {}", path.display());
+    }
+}
+
+/// The `run` binary: `--spec` executes any experiment spec file;
+/// without it, `--device` runs the Table II suite on a JSON-loaded
+/// device (the legacy custom-device mode, now engine-backed so it
+/// shares `--cache`).
+pub fn run_main() {
+    let args = HarnessArgs::parse();
+    args.validate("run");
+    let engine = args.engine();
+
+    if let Some(spec_path) = &args.spec {
+        let mut spec = ExperimentSpec::from_file(spec_path).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        });
+        args.apply_to_spec(&mut spec);
+        let run = run_spec_or_die(&spec, &engine);
+        emit_artifact(&run.artifact, args.json.as_deref());
+        return;
+    }
+
+    let Some(device_path) = &args.device else {
+        eprintln!("error: `run` requires --spec <experiment.json> or --device <file.json>");
+        eprintln!("       (see examples/experiments/, examples/devices/ and the README)");
+        std::process::exit(2);
+    };
+    // The legacy suite mode has no capacity axis (the device file fixes
+    // the trap sizes); reject rather than silently ignore the flags.
+    if args.quick || args.caps.is_some() {
+        usage("`run --device` (without --spec) has no capacity sweep; --quick/--caps need --spec");
+    }
+    let spec = ExperimentSpec {
+        name: "run".into(),
+        projection: Projection::Cells,
+        circuits: qccd_circuit::generators::Benchmark::ALL
+            .iter()
+            .map(|&b| qccd::engine::CircuitSpec::Benchmark(b))
+            .collect(),
+        capacities: vec![],
+        devices: vec![DeviceSpec::File {
+            path: device_path.display().to_string(),
+        }],
+        configs: vec![ConfigSpec::Config(args.load_config_or_default())],
+        models: vec![match &args.model {
+            Some(path) => ModelSpec::File {
+                path: path.display().to_string(),
+            },
+            None => ModelSpec::Default,
+        }],
+    };
+    let run = run_spec_or_die(&spec, &engine);
+
+    // The legacy per-benchmark report format.
+    let device = &run.grid.devices()[0];
+    let config = run.grid.configs()[0];
+    let model = run.grid.models()[0];
+    println!("device: {device}");
+    println!(
+        "config: {}; gates: {}",
+        Pipeline::from_config(&config).describe(),
+        model.gate_impl
+    );
+    println!(
+        "{:<14}{:>10}{:>12}{:>9}{:>9}{:>9}",
+        "app", "time_s", "fidelity", "ms", "swaps", "moves"
+    );
+    let mut reports = Vec::new();
+    for ci in 0..run.grid.circuits().len() {
+        let name = qccd_circuit::generators::Benchmark::ALL[ci].name();
+        match run.results.outcome(&run.grid, ci, 0, 0, 0) {
+            Err(e) => {
+                println!("{name:<14}  {e}");
+                reports.push((name.to_owned(), None));
+            }
+            Ok(r) => {
+                println!(
+                    "{:<14}{:>10.4}{:>12.4e}{:>9}{:>9}{:>9}",
+                    name,
+                    r.total_time_s(),
+                    r.fidelity(),
+                    r.ms_executions,
+                    r.counts.swap_gates,
+                    r.counts.moves,
+                );
+                reports.push((name.to_owned(), Some(r.clone())));
+            }
+        }
+    }
+
+    if let Some(path) = args.json.as_deref() {
+        let bundle = serde_json::json!({
+            "device": device,
+            "config": config,
+            "model": model,
+            "reports": reports,
+        });
+        std::fs::write(
+            path,
+            serde_json::to_string_pretty(&bundle).expect("reports serialize"),
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("error: could not write {}: {e}", path.display());
+            std::process::exit(1);
+        });
         eprintln!("wrote {}", path.display());
     }
 }
@@ -295,6 +672,15 @@ mod tests {
     }
 
     #[test]
+    fn spec_and_cache_flags_parse() {
+        let args = parse(&["--spec", "f.json", "--cache", "/tmp/c"]).unwrap();
+        assert_eq!(args.spec, Some(PathBuf::from("f.json")));
+        assert_eq!(args.cache, Some(PathBuf::from("/tmp/c")));
+        assert_eq!(args.given_flags(), vec!["--spec", "--cache"]);
+        assert!(parse(&["--spec"]).unwrap_err().contains("--spec needs"));
+    }
+
+    #[test]
     fn unknown_policy_names_report_the_accepted_set() {
         let err = parse(&["--routing", "warp"]).unwrap_err();
         assert!(err.contains("warp"), "{err}");
@@ -320,5 +706,70 @@ mod tests {
         assert_eq!(config.reorder, ReorderMethod::GateSwap);
         assert_eq!(config.eviction, EvictionKind::FurthestNextUse);
         assert_eq!(config.buffer_slots, 2);
+    }
+
+    #[test]
+    fn bin_flags_table_covers_every_artifact_binary() {
+        for bin in [
+            "table1",
+            "table2",
+            "fig6",
+            "fig7",
+            "fig8",
+            "all",
+            "ablations",
+            "run",
+        ] {
+            assert!(
+                BIN_FLAGS.iter().any(|(name, _)| *name == bin),
+                "`{bin}` missing from BIN_FLAGS"
+            );
+        }
+        // Spot-check a few rules the old per-bin lists enforced.
+        let flags_of = |bin: &str| {
+            BIN_FLAGS
+                .iter()
+                .find(|(name, _)| *name == bin)
+                .map(|(_, f)| *f)
+                .unwrap()
+        };
+        assert!(!flags_of("table2").contains(&"--device"));
+        assert!(
+            !flags_of("fig7").contains(&"--device"),
+            "fig7 is L6-vs-G2x3 by design"
+        );
+        assert!(
+            !flags_of("fig8").contains(&"--config"),
+            "fig8 sweeps reorders itself"
+        );
+        assert!(flags_of("run").contains(&"--spec"));
+    }
+
+    #[test]
+    fn apply_to_spec_rewrites_the_right_axes() {
+        let args = parse(&["--quick", "--device", "dev.json"]).unwrap();
+        let mut spec = ExperimentSpec::fig6(&PAPER_CAPACITIES);
+        args.apply_to_spec(&mut spec);
+        assert_eq!(spec.capacities, QUICK_CAPACITIES.to_vec());
+        assert_eq!(
+            spec.devices,
+            vec![DeviceSpec::File {
+                path: "dev.json".into()
+            }]
+        );
+        // A policy flag steers explicit configs without touching a
+        // policy-grid axis entry.
+        let args = parse(&["--routing", "LC"]).unwrap();
+        let mut spec = ExperimentSpec::ablation_policy(2);
+        spec.configs
+            .push(ConfigSpec::Config(CompilerConfig::default()));
+        args.apply_to_spec(&mut spec);
+        assert_eq!(spec.configs[0], ConfigSpec::PolicyGrid { buffer_slots: 2 });
+        match &spec.configs[1] {
+            ConfigSpec::Config(c) => {
+                assert_eq!(c.routing, RoutingKind::LookaheadCongestion)
+            }
+            other => panic!("expected config, got {other:?}"),
+        }
     }
 }

@@ -1,0 +1,171 @@
+//! On-disk result cache keyed by stable job id.
+//!
+//! Each completed job is persisted as one small JSON file
+//! (`<cache-dir>/<job-id>.json`) holding the [`JobOutcome`] — either
+//! the full [`qccd_sim::SimReport`] or the error text. Because job ids
+//! are content hashes of the job's entire description (circuit, device,
+//! compiler config, physical model — see [`crate::engine::JobGrid`]),
+//! a cache entry can never be served for a different computation, and
+//! interrupted or repeated sweeps skip every cell that already ran.
+//!
+//! Corrupt or truncated entries (e.g. from a run killed mid-write) are
+//! treated as misses and overwritten; a cache read can therefore never
+//! fail a run.
+
+use super::grid::{JobId, JobOutcome};
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The serialized form of one cache entry. The id is stored inside the
+/// file too, so an entry renamed to the wrong filename is rejected
+/// rather than mis-served.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct CacheEntry {
+    id: String,
+    ok: Option<qccd_sim::SimReport>,
+    err: Option<String>,
+}
+
+/// A directory of per-job result files.
+#[derive(Debug, Clone)]
+pub struct ResultCache {
+    dir: PathBuf,
+}
+
+impl ResultCache {
+    /// Opens (creating if needed) the cache directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error if the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<ResultCache> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(ResultCache { dir })
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_of(&self, id: &JobId) -> PathBuf {
+        self.dir.join(format!("{id}.json"))
+    }
+
+    /// Loads the outcome for `id`, or `None` on a miss (including
+    /// unreadable or corrupt entries, which execution will overwrite).
+    pub fn load(&self, id: &JobId) -> Option<JobOutcome> {
+        let text = std::fs::read_to_string(self.path_of(id)).ok()?;
+        let entry: CacheEntry = serde_json::from_str(&text).ok()?;
+        if entry.id != id.as_str() {
+            return None;
+        }
+        match (entry.ok, entry.err) {
+            (Some(report), None) => Some(Ok(report)),
+            (None, Some(message)) => Some(Err(message)),
+            _ => None,
+        }
+    }
+
+    /// Persists the outcome for `id`. Best-effort: an unwritable cache
+    /// degrades to re-execution next run instead of failing this one.
+    pub fn store(&self, id: &JobId, outcome: &JobOutcome) {
+        let entry = CacheEntry {
+            id: id.as_str().to_owned(),
+            ok: outcome.as_ref().ok().cloned(),
+            err: outcome.as_ref().err().cloned(),
+        };
+        let text = serde_json::to_string(&entry).expect("cache entries serialize");
+        let _ = std::fs::write(self.path_of(id), text);
+    }
+
+    /// Number of entry files currently on disk (diagnostics/tests).
+    pub fn len(&self) -> usize {
+        std::fs::read_dir(&self.dir)
+            .map(|entries| {
+                entries
+                    .filter_map(Result::ok)
+                    .filter(|e| e.path().extension().is_some_and(|x| x == "json"))
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::grid::JobGrid;
+    use super::*;
+    use qccd_circuit::generators;
+    use qccd_compiler::CompilerConfig;
+    use qccd_device::presets;
+    use qccd_physics::PhysicalModel;
+
+    fn temp_cache(tag: &str) -> ResultCache {
+        let dir =
+            std::env::temp_dir().join(format!("qccd-cache-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ResultCache::open(dir).expect("temp cache dir")
+    }
+
+    fn one_job_id() -> JobId {
+        let grid = JobGrid::from_axes(
+            vec![generators::bv(&[true; 6])],
+            vec![presets::l6(6)],
+            vec![CompilerConfig::default()],
+            vec![PhysicalModel::default()],
+        );
+        grid.jobs()[0].id.clone()
+    }
+
+    #[test]
+    fn round_trips_ok_and_err_outcomes() {
+        let cache = temp_cache("roundtrip");
+        let id = one_job_id();
+        assert!(cache.load(&id).is_none(), "fresh cache misses");
+
+        let report = crate::Toolflow::new(presets::l6(6), PhysicalModel::default())
+            .run(&generators::bv(&[true; 6]))
+            .expect("fits");
+        cache.store(&id, &Ok(report.clone()));
+        assert_eq!(cache.load(&id), Some(Ok(report)));
+
+        cache.store(&id, &Err("compile: it broke".into()));
+        assert_eq!(cache.load(&id), Some(Err("compile: it broke".into())));
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn corrupt_entries_read_as_misses() {
+        let cache = temp_cache("corrupt");
+        let id = one_job_id();
+        std::fs::write(cache.dir().join(format!("{id}.json")), "{ truncated").unwrap();
+        assert!(cache.load(&id).is_none());
+        // An entry whose embedded id disagrees with its filename is
+        // rejected too.
+        std::fs::write(
+            cache.dir().join(format!("{id}.json")),
+            r#"{"id": "someone-else", "ok": null, "err": "x"}"#,
+        )
+        .unwrap();
+        assert!(cache.load(&id).is_none());
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn len_counts_entries() {
+        let cache = temp_cache("len");
+        assert!(cache.is_empty());
+        let id = one_job_id();
+        cache.store(&id, &Err("e".into()));
+        assert_eq!(cache.len(), 1);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+}

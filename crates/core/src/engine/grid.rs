@@ -1,0 +1,382 @@
+//! The resolved job grid: every (circuit × device × config × model)
+//! cell of an experiment, deduplicated behind stable content-hashed
+//! job ids.
+//!
+//! A [`JobGrid`] is the boundary between the declarative layer
+//! ([`crate::engine::ExperimentSpec`]) and execution: the spec resolves
+//! its axes into concrete values, the grid enumerates the cartesian
+//! product, and identical cells (same circuit, device, compiler config
+//! and physical model, by serialized content) collapse onto one
+//! [`Job`]. Job ids are content hashes, so they are stable across
+//! processes and machines — the property the on-disk result cache
+//! keys on.
+
+use qccd_circuit::Circuit;
+use qccd_compiler::CompilerConfig;
+use qccd_device::Device;
+use qccd_physics::PhysicalModel;
+use qccd_sim::SimReport;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Version salt folded into every job id; bump when the executable or
+/// report semantics change so stale caches invalidate themselves.
+const JOB_ID_VERSION: &str = "qccd-job-v1";
+
+/// FNV-1a 64-bit over a byte string: a small, dependency-free,
+/// platform-stable content hash (unlike `DefaultHasher`, whose keys are
+/// randomized per process).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Stable identifier of one unique job: a human-readable prefix
+/// (circuit and device) plus the 64-bit content hash of the job's full
+/// serialized description.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct JobId(String);
+
+impl JobId {
+    fn new(label: &str, hash: u64) -> Self {
+        let safe: String = label
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || c == '-' || c == '_' {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        JobId(format!("{safe}-{hash:016x}"))
+    }
+
+    /// The id as a string (also the cache file stem).
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// One unique unit of work: indices into the grid's axes plus the
+/// stable id.
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// Index into [`JobGrid::circuits`].
+    pub circuit: usize,
+    /// Index into [`JobGrid::devices`].
+    pub device: usize,
+    /// Index into [`JobGrid::configs`].
+    pub config: usize,
+    /// Index into [`JobGrid::models`].
+    pub model: usize,
+    /// Content-hash identity (cache key).
+    pub id: JobId,
+}
+
+/// The deduplicated cartesian product of four resolved axes.
+#[derive(Debug, Clone)]
+pub struct JobGrid {
+    circuits: Vec<Circuit>,
+    devices: Vec<Device>,
+    configs: Vec<CompilerConfig>,
+    models: Vec<PhysicalModel>,
+    jobs: Vec<Job>,
+    /// Flat cell index (circuit-major, model-minor) → job index.
+    cells: Vec<usize>,
+}
+
+impl JobGrid {
+    /// Builds the grid over the cartesian product of the four axes,
+    /// collapsing content-identical cells onto one job.
+    pub fn from_axes(
+        circuits: Vec<Circuit>,
+        devices: Vec<Device>,
+        configs: Vec<CompilerConfig>,
+        models: Vec<PhysicalModel>,
+    ) -> JobGrid {
+        // Hash each axis element once; a job's content hash combines the
+        // four element hashes under a version salt.
+        let digest = |json: String| fnv1a(json.as_bytes());
+        let c_digests: Vec<u64> = circuits
+            .iter()
+            .map(|c| digest(serde_json::to_string(c).expect("circuits serialize")))
+            .collect();
+        let d_digests: Vec<u64> = devices
+            .iter()
+            .map(|d| digest(serde_json::to_string(d).expect("devices serialize")))
+            .collect();
+        let cfg_digests: Vec<u64> = configs
+            .iter()
+            .map(|c| digest(serde_json::to_string(c).expect("configs serialize")))
+            .collect();
+        let m_digests: Vec<u64> = models
+            .iter()
+            .map(|m| digest(serde_json::to_string(m).expect("models serialize")))
+            .collect();
+
+        let mut jobs: Vec<Job> = Vec::new();
+        let mut by_id: HashMap<String, usize> = HashMap::new();
+        let mut cells =
+            Vec::with_capacity(circuits.len() * devices.len() * configs.len() * models.len());
+        for (ci, circuit) in circuits.iter().enumerate() {
+            for (di, device) in devices.iter().enumerate() {
+                for (cfgi, cfg_digest) in cfg_digests.iter().enumerate() {
+                    for (mi, m_digest) in m_digests.iter().enumerate() {
+                        let content = format!(
+                            "{JOB_ID_VERSION}|{:016x}|{:016x}|{cfg_digest:016x}|{m_digest:016x}",
+                            c_digests[ci], d_digests[di]
+                        );
+                        let label = format!(
+                            "{}-{}c{}",
+                            circuit.name(),
+                            device.name(),
+                            device.max_trap_capacity()
+                        );
+                        let id = JobId::new(&label, fnv1a(content.as_bytes()));
+                        let job_index = *by_id.entry(id.as_str().to_owned()).or_insert_with(|| {
+                            jobs.push(Job {
+                                circuit: ci,
+                                device: di,
+                                config: cfgi,
+                                model: mi,
+                                id: id.clone(),
+                            });
+                            jobs.len() - 1
+                        });
+                        cells.push(job_index);
+                    }
+                }
+            }
+        }
+        JobGrid {
+            circuits,
+            devices,
+            configs,
+            models,
+            jobs,
+            cells,
+        }
+    }
+
+    /// The circuit axis.
+    pub fn circuits(&self) -> &[Circuit] {
+        &self.circuits
+    }
+
+    /// The device axis.
+    pub fn devices(&self) -> &[Device] {
+        &self.devices
+    }
+
+    /// The compiler-config axis.
+    pub fn configs(&self) -> &[CompilerConfig] {
+        &self.configs
+    }
+
+    /// The physical-model axis.
+    pub fn models(&self) -> &[PhysicalModel] {
+        &self.models
+    }
+
+    /// The unique jobs, in first-seen (cell) order.
+    pub fn jobs(&self) -> &[Job] {
+        &self.jobs
+    }
+
+    /// Number of unique jobs (≤ [`JobGrid::cell_count`]).
+    pub fn job_count(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Number of cells in the full cartesian product.
+    pub fn cell_count(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Flat index of a cell (circuit-major, model-minor).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range for its axis.
+    pub fn cell_index(&self, circuit: usize, device: usize, config: usize, model: usize) -> usize {
+        assert!(circuit < self.circuits.len(), "circuit index out of range");
+        assert!(device < self.devices.len(), "device index out of range");
+        assert!(config < self.configs.len(), "config index out of range");
+        assert!(model < self.models.len(), "model index out of range");
+        ((circuit * self.devices.len() + device) * self.configs.len() + config) * self.models.len()
+            + model
+    }
+
+    /// The job index a cell resolved to.
+    pub fn job_of_cell(&self, cell: usize) -> usize {
+        self.cells[cell]
+    }
+}
+
+/// Outcome of one executed (or cache-loaded) job: the simulation report,
+/// or the toolflow error rendered to text (so outcomes stay
+/// serializable for the cache).
+pub type JobOutcome = Result<SimReport, String>;
+
+/// Per-job outcomes of an engine run, addressable by grid coordinates.
+#[derive(Debug, Clone)]
+pub struct GridResults {
+    outcomes: Vec<JobOutcome>,
+    cells: Vec<usize>,
+}
+
+impl GridResults {
+    pub(crate) fn new(outcomes: Vec<JobOutcome>, grid: &JobGrid) -> GridResults {
+        assert_eq!(outcomes.len(), grid.job_count());
+        GridResults {
+            outcomes,
+            cells: grid.cells.clone(),
+        }
+    }
+
+    /// Outcomes in job order (aligned with [`JobGrid::jobs`]).
+    pub fn job_outcomes(&self) -> &[JobOutcome] {
+        &self.outcomes
+    }
+
+    /// The outcome at a cell, by the owning grid's flat cell index.
+    pub fn outcome_at_cell(&self, cell: usize) -> &JobOutcome {
+        &self.outcomes[self.cells[cell]]
+    }
+
+    /// The outcome at (circuit, device, config, model) grid coordinates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the coordinates are out of range for `grid` or if
+    /// `grid` is not the grid these results were produced from.
+    pub fn outcome<'a>(
+        &'a self,
+        grid: &JobGrid,
+        circuit: usize,
+        device: usize,
+        config: usize,
+        model: usize,
+    ) -> &'a JobOutcome {
+        self.outcome_at_cell(grid.cell_index(circuit, device, config, model))
+    }
+
+    /// The successful report at grid coordinates, or `None` for a
+    /// failed/infeasible cell — the shape the figure projections
+    /// consume.
+    pub fn report<'a>(
+        &'a self,
+        grid: &JobGrid,
+        circuit: usize,
+        device: usize,
+        config: usize,
+        model: usize,
+    ) -> Option<&'a SimReport> {
+        self.outcome(grid, circuit, device, config, model)
+            .as_ref()
+            .ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qccd_circuit::generators;
+    use qccd_device::presets;
+
+    fn tiny_grid() -> JobGrid {
+        JobGrid::from_axes(
+            vec![generators::bv(&[true; 6]), generators::qft(5)],
+            vec![presets::l6(6), presets::l6(8)],
+            vec![CompilerConfig::default()],
+            vec![PhysicalModel::default()],
+        )
+    }
+
+    #[test]
+    fn cartesian_product_enumerates_every_cell() {
+        let grid = tiny_grid();
+        assert_eq!(grid.cell_count(), 4);
+        assert_eq!(grid.job_count(), 4);
+        // Model-minor ordering: cell 1 differs from cell 0 in device.
+        let j0 = &grid.jobs()[grid.job_of_cell(0)];
+        let j1 = &grid.jobs()[grid.job_of_cell(1)];
+        assert_eq!((j0.circuit, j0.device), (0, 0));
+        assert_eq!((j1.circuit, j1.device), (0, 1));
+    }
+
+    #[test]
+    fn identical_cells_deduplicate_onto_one_job() {
+        let grid = JobGrid::from_axes(
+            vec![generators::bv(&[true; 6])],
+            vec![presets::l6(6), presets::l6(6)], // same device twice
+            vec![CompilerConfig::default()],
+            vec![PhysicalModel::default()],
+        );
+        assert_eq!(grid.cell_count(), 2);
+        assert_eq!(grid.job_count(), 1, "duplicate cells share one job");
+        assert_eq!(grid.job_of_cell(0), grid.job_of_cell(1));
+    }
+
+    #[test]
+    fn job_ids_are_stable_and_content_sensitive() {
+        let a = tiny_grid();
+        let b = tiny_grid();
+        for (ja, jb) in a.jobs().iter().zip(b.jobs()) {
+            assert_eq!(ja.id, jb.id, "ids stable across constructions");
+        }
+        // Changing any axis element changes the id.
+        let c = JobGrid::from_axes(
+            vec![generators::bv(&[true; 6])],
+            vec![presets::l6(6)],
+            vec![CompilerConfig::with_reorder(
+                qccd_compiler::ReorderMethod::IonSwap,
+            )],
+            vec![PhysicalModel::default()],
+        );
+        assert_ne!(a.jobs()[0].id, c.jobs()[0].id);
+    }
+
+    #[test]
+    fn job_id_label_is_filesystem_safe() {
+        let grid = tiny_grid();
+        for job in grid.jobs() {
+            assert!(job
+                .id
+                .as_str()
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_'));
+        }
+    }
+
+    #[test]
+    fn empty_axes_produce_an_empty_grid() {
+        let grid = JobGrid::from_axes(
+            vec![],
+            vec![presets::l6(6)],
+            vec![CompilerConfig::default()],
+            vec![PhysicalModel::default()],
+        );
+        assert_eq!(grid.cell_count(), 0);
+        assert_eq!(grid.job_count(), 0);
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+}

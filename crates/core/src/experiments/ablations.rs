@@ -20,15 +20,26 @@
 //! Each study takes a base [`CompilerConfig`] so the `ablations` harness
 //! binary's `--mapping`/`--routing`/`--reorder`/`--eviction` flags (and
 //! `--config` files) steer the compiler policies under ablation.
+//!
+//! Since the engine redesign each study is a thin projection: its axes
+//! map onto a [`JobGrid`] (the `ExperimentSpec::ablation_*` presets
+//! describe the same grids declaratively), the engine evaluates the
+//! cells, and a `project_*` function shapes the figure.
 
 use super::{series_of, Figure, Panel, Series};
-use crate::sweep::{parallel_map, policy_grid};
-use crate::toolflow::Toolflow;
+use crate::engine::{Engine, GridResults, JobGrid};
+use crate::sweep::policy_grid;
 use qccd_circuit::Circuit;
 use qccd_compiler::CompilerConfig;
 use qccd_device::presets;
 use qccd_physics::{HeatingModel, PhysicalModel, ShuttleTimes};
 use qccd_sim::SimReport;
+
+/// Runs a grid through a silent engine and projects it.
+fn run_and_project(grid: JobGrid, project: impl Fn(&JobGrid, &GridResults) -> Figure) -> Figure {
+    let run = Engine::new().run(&grid);
+    project(&grid, &run.results)
+}
 
 /// Sweeps the mapping buffer (reserved slots per trap) for one circuit on
 /// L6 at the given capacity. `base` selects the compiler policies; its
@@ -39,26 +50,45 @@ pub fn buffer_sweep(
     buffers: &[u32],
     base: CompilerConfig,
 ) -> Figure {
-    let outcomes: Vec<Option<SimReport>> = parallel_map(buffers, |&buffer_slots| {
-        let config = CompilerConfig {
-            buffer_slots,
-            ..base
-        };
-        Toolflow::with_config(presets::l6(capacity), PhysicalModel::default(), config)
-            .run(circuit)
-            .ok()
-    });
+    let grid = JobGrid::from_axes(
+        vec![circuit.clone()],
+        vec![presets::l6(capacity)],
+        buffers
+            .iter()
+            .map(|&buffer_slots| CompilerConfig {
+                buffer_slots,
+                ..base
+            })
+            .collect(),
+        vec![PhysicalModel::default()],
+    );
+    run_and_project(grid, project_buffer)
+}
+
+/// Shapes a (circuit × L6 × buffer-configs) grid into the A1 figure.
+/// The x axis is each config's `buffer_slots`.
+pub(crate) fn project_buffer(grid: &JobGrid, results: &GridResults) -> Figure {
+    let circuit_name = grid
+        .circuits()
+        .first()
+        .map(|c| c.name().to_owned())
+        .unwrap_or_default();
+    let capacity = grid
+        .devices()
+        .first()
+        .map(|d| d.max_trap_capacity())
+        .unwrap_or(0);
+    let outcomes: Vec<Option<SimReport>> = (0..grid.configs().len())
+        .map(|cfgi| results.report(grid, 0, 0, cfgi, 0).cloned())
+        .collect();
     Figure {
         id: "A1".into(),
-        caption: format!(
-            "Mapping buffer ablation: {} on L6({capacity})",
-            circuit.name()
-        ),
+        caption: format!("Mapping buffer ablation: {circuit_name} on L6({capacity})"),
         panels: vec![Panel {
             id: "A1".into(),
             title: "reserved slots per trap".into(),
             y_label: "fidelity / splits / time (s)".into(),
-            x: buffers.to_vec(),
+            x: grid.configs().iter().map(|c| c.buffer_slots).collect(),
             series: vec![
                 series_of("fidelity", &outcomes, |r: &SimReport| r.fidelity()),
                 series_of("splits", &outcomes, |r: &SimReport| r.counts.splits as f64),
@@ -72,31 +102,54 @@ pub fn buffer_sweep(
 /// strict constant-k₁ reading across trap capacities, compiling with
 /// `base`'s policies.
 pub fn heating_ablation(circuit: &Circuit, capacities: &[u32], base: CompilerConfig) -> Figure {
-    let run = |heating: HeatingModel| -> Vec<Option<SimReport>> {
-        parallel_map(capacities, |&cap| {
-            let model = PhysicalModel {
-                heating,
+    let grid = JobGrid::from_axes(
+        vec![circuit.clone()],
+        capacities.iter().map(|&c| presets::l6(c)).collect(),
+        vec![base],
+        vec![
+            PhysicalModel::default(), // scaled k1 (the paper's model)
+            PhysicalModel {
+                heating: HeatingModel::CONSTANT_K1,
                 ..PhysicalModel::default()
-            };
-            Toolflow::with_config(presets::l6(cap), model, base)
-                .run(circuit)
-                .ok()
-        })
+            },
+        ],
+    );
+    let run = Engine::new().run(&grid);
+    project_heating(&grid, &run.results, capacities)
+}
+
+/// Shapes a (circuit × capacities × 2-heating-models) grid into the A2
+/// figure. The model axis must hold the scaled-k₁ model first.
+pub(crate) fn project_heating(grid: &JobGrid, results: &GridResults, capacities: &[u32]) -> Figure {
+    let circuit_name = grid
+        .circuits()
+        .first()
+        .map(|c| c.name().to_owned())
+        .unwrap_or_default();
+    let x: Vec<u32> = if capacities.len() == grid.devices().len() {
+        capacities.to_vec()
+    } else {
+        grid.devices()
+            .iter()
+            .map(|d| d.max_trap_capacity())
+            .collect()
     };
-    let scaled = run(HeatingModel::PAPER);
-    let constant = run(HeatingModel::CONSTANT_K1);
+    let row = |mi: usize| -> Vec<Option<SimReport>> {
+        (0..grid.devices().len())
+            .map(|k| results.report(grid, 0, k, 0, mi).cloned())
+            .collect()
+    };
+    let scaled = row(0);
+    let constant = row(1);
     Figure {
         id: "A2".into(),
-        caption: format!(
-            "Heating-model ablation (scaled k1 vs constant k1): {}",
-            circuit.name()
-        ),
+        caption: format!("Heating-model ablation (scaled k1 vs constant k1): {circuit_name}"),
         panels: vec![
             Panel {
                 id: "A2-fidelity".into(),
                 title: "application fidelity".into(),
                 y_label: "fidelity".into(),
-                x: capacities.to_vec(),
+                x: x.clone(),
                 series: vec![
                     series_of("scaled-k1", &scaled, |r: &SimReport| r.fidelity()),
                     series_of("constant-k1", &constant, |r: &SimReport| r.fidelity()),
@@ -106,7 +159,7 @@ pub fn heating_ablation(circuit: &Circuit, capacities: &[u32], base: CompilerCon
                 id: "A2-energy".into(),
                 title: "peak motional occupation".into(),
                 y_label: "quanta".into(),
-                x: capacities.to_vec(),
+                x,
                 series: vec![
                     series_of("scaled-k1", &scaled, |r: &SimReport| r.peak_motional_energy),
                     series_of("constant-k1", &constant, |r: &SimReport| {
@@ -127,43 +180,57 @@ pub fn junction_cost_sweep(
     factors: &[u32],
     base: CompilerConfig,
 ) -> Figure {
-    let cells: Vec<(u32, u8)> = factors.iter().flat_map(|&f| [(f, 0u8), (f, 1u8)]).collect();
-    let outcomes = parallel_map(&cells, |&(factor, topo)| {
-        let shuttle = ShuttleTimes {
-            junction_x: ShuttleTimes::TABLE_I.junction_x * f64::from(factor),
-            junction_y: ShuttleTimes::TABLE_I.junction_y * f64::from(factor),
-            ..ShuttleTimes::TABLE_I
-        };
-        let model = PhysicalModel {
-            shuttle,
-            ..PhysicalModel::default()
-        };
-        let device = if topo == 0 {
-            presets::l6(capacity)
-        } else {
-            presets::g2x3(capacity)
-        };
-        Toolflow::with_config(device, model, base).run(circuit).ok()
-    });
-    let row = |topo: u8| -> Vec<Option<SimReport>> {
-        cells
+    let grid = JobGrid::from_axes(
+        vec![circuit.clone()],
+        vec![presets::l6(capacity), presets::g2x3(capacity)],
+        vec![base],
+        factors
             .iter()
-            .zip(outcomes.iter())
-            .filter(|((_, t), _)| *t == topo)
-            .map(|(_, o)| o.clone())
+            .map(|&factor| PhysicalModel {
+                shuttle: ShuttleTimes {
+                    junction_x: ShuttleTimes::TABLE_I.junction_x * f64::from(factor),
+                    junction_y: ShuttleTimes::TABLE_I.junction_y * f64::from(factor),
+                    ..ShuttleTimes::TABLE_I
+                },
+                ..PhysicalModel::default()
+            })
+            .collect(),
+    );
+    run_and_project(grid, project_junction)
+}
+
+/// Shapes a (circuit × {linear, grid} × junction-factor-models) grid
+/// into the A3 figure. The x axis (the junction-time multiplier) is
+/// recovered from each model's X-junction time relative to Table I.
+pub(crate) fn project_junction(grid: &JobGrid, results: &GridResults) -> Figure {
+    let circuit_name = grid
+        .circuits()
+        .first()
+        .map(|c| c.name().to_owned())
+        .unwrap_or_default();
+    let capacity = grid
+        .devices()
+        .first()
+        .map(|d| d.max_trap_capacity())
+        .unwrap_or(0);
+    let factors: Vec<u32> = grid
+        .models()
+        .iter()
+        .map(|m| (m.shuttle.junction_x / ShuttleTimes::TABLE_I.junction_x).round() as u32)
+        .collect();
+    let row = |di: usize| -> Vec<Option<SimReport>> {
+        (0..grid.models().len())
+            .map(|mi| results.report(grid, 0, di, 0, mi).cloned())
             .collect()
     };
     Figure {
         id: "A3".into(),
-        caption: format!(
-            "Junction-cost sensitivity: {} at capacity {capacity}",
-            circuit.name()
-        ),
+        caption: format!("Junction-cost sensitivity: {circuit_name} at capacity {capacity}"),
         panels: vec![Panel {
             id: "A3".into(),
             title: "junction time multiplier".into(),
             y_label: "time (s)".into(),
-            x: factors.to_vec(),
+            x: factors,
             series: vec![
                 series_of("linear", &row(0), |r: &SimReport| r.total_time_s()),
                 series_of("grid", &row(1), |r: &SimReport| r.total_time_s()),
@@ -180,26 +247,48 @@ pub fn device_size_sweep(
     capacity: u32,
     base: CompilerConfig,
 ) -> Figure {
-    let outcomes: Vec<Option<SimReport>> = parallel_map(trap_counts, |&n| {
-        Toolflow::with_config(
-            presets::linear(n, capacity, presets::DEFAULT_LINEAR_SPACING),
-            PhysicalModel::default(),
-            base,
-        )
-        .run(circuit)
-        .ok()
-    });
+    let grid = JobGrid::from_axes(
+        vec![circuit.clone()],
+        trap_counts
+            .iter()
+            .map(|&n| presets::linear(n, capacity, presets::DEFAULT_LINEAR_SPACING))
+            .collect(),
+        vec![base],
+        vec![PhysicalModel::default()],
+    );
+    run_and_project(grid, project_device_size)
+}
+
+/// Shapes a (circuit × linear-devices) grid into the A4 figure. The
+/// x axis is each device's trap count.
+pub(crate) fn project_device_size(grid: &JobGrid, results: &GridResults) -> Figure {
+    let circuit_name = grid
+        .circuits()
+        .first()
+        .map(|c| c.name().to_owned())
+        .unwrap_or_default();
+    let capacity = grid
+        .devices()
+        .first()
+        .map(|d| d.max_trap_capacity())
+        .unwrap_or(0);
+    let outcomes: Vec<Option<SimReport>> = (0..grid.devices().len())
+        .map(|di| results.report(grid, 0, di, 0, 0).cloned())
+        .collect();
     Figure {
         id: "A4".into(),
         caption: format!(
-            "Device-size sweep: {} on linear devices of capacity {capacity}",
-            circuit.name()
+            "Device-size sweep: {circuit_name} on linear devices of capacity {capacity}"
         ),
         panels: vec![Panel {
             id: "A4".into(),
             title: "trap count".into(),
             y_label: "fidelity / time (s)".into(),
-            x: trap_counts.to_vec(),
+            x: grid
+                .devices()
+                .iter()
+                .map(|d| d.trap_count() as u32)
+                .collect(),
             series: vec![
                 series_of("fidelity", &outcomes, |r: &SimReport| r.fidelity()),
                 series_of("time_s", &outcomes, |r: &SimReport| r.total_time_s()),
@@ -215,33 +304,42 @@ pub fn device_size_sweep(
 /// [`CompilerConfig::policy_label`] form, e.g. `RR+SP+GS+FNU`), panels
 /// for runtime, fidelity and shuttling volume.
 pub fn policy_ablation(circuit: &Circuit, capacities: &[u32], buffer_slots: u32) -> Figure {
-    let grid = policy_grid(buffer_slots);
-    // (config, capacity) cells, evaluated in parallel.
-    let cells: Vec<(usize, u32)> = grid
-        .iter()
-        .enumerate()
-        .flat_map(|(g, _)| capacities.iter().map(move |&c| (g, c)))
-        .collect();
-    let outcomes = parallel_map(&cells, |&(g, cap)| {
-        Toolflow::with_config(presets::l6(cap), PhysicalModel::default(), grid[g])
-            .run(circuit)
-            .ok()
-    });
-    let per_combo: Vec<Vec<Option<SimReport>>> = grid
-        .iter()
-        .enumerate()
-        .map(|(g, _)| {
-            cells
-                .iter()
-                .zip(outcomes.iter())
-                .filter(|((gi, _), _)| *gi == g)
-                .map(|(_, o)| o.clone())
+    let grid = JobGrid::from_axes(
+        vec![circuit.clone()],
+        capacities.iter().map(|&c| presets::l6(c)).collect(),
+        policy_grid(buffer_slots),
+        vec![PhysicalModel::default()],
+    );
+    let run = Engine::new().run(&grid);
+    project_policy(&grid, &run.results, capacities)
+}
+
+/// Shapes a (circuit × capacities × 16-policy-configs) grid into the A5
+/// figure.
+pub(crate) fn project_policy(grid: &JobGrid, results: &GridResults, capacities: &[u32]) -> Figure {
+    let circuit_name = grid
+        .circuits()
+        .first()
+        .map(|c| c.name().to_owned())
+        .unwrap_or_default();
+    let x: Vec<u32> = if capacities.len() == grid.devices().len() {
+        capacities.to_vec()
+    } else {
+        grid.devices()
+            .iter()
+            .map(|d| d.max_trap_capacity())
+            .collect()
+    };
+    let per_combo: Vec<Vec<Option<SimReport>>> = (0..grid.configs().len())
+        .map(|cfgi| {
+            (0..grid.devices().len())
+                .map(|k| results.report(grid, 0, k, cfgi, 0).cloned())
                 .collect()
         })
         .collect();
-
     let combo_series = |get: &dyn Fn(&SimReport) -> f64| -> Vec<Series> {
-        grid.iter()
+        grid.configs()
+            .iter()
             .zip(per_combo.iter())
             .map(|(config, row)| series_of(&config.policy_label(), row, get))
             .collect()
@@ -249,30 +347,29 @@ pub fn policy_ablation(circuit: &Circuit, capacities: &[u32], buffer_slots: u32)
     Figure {
         id: "A5".into(),
         caption: format!(
-            "Compiler policy-pipeline ablation: {} on L6 \
-             (mapping RR/UW × routing SP/LC × reorder GS/IS × eviction FNU/CE)",
-            circuit.name()
+            "Compiler policy-pipeline ablation: {circuit_name} on L6 \
+             (mapping RR/UW × routing SP/LC × reorder GS/IS × eviction FNU/CE)"
         ),
         panels: vec![
             Panel {
                 id: "A5-time".into(),
                 title: "runtime per pipeline".into(),
                 y_label: "time (s)".into(),
-                x: capacities.to_vec(),
+                x: x.clone(),
                 series: combo_series(&|r| r.total_time_s()),
             },
             Panel {
                 id: "A5-fidelity".into(),
                 title: "fidelity per pipeline".into(),
                 y_label: "fidelity".into(),
-                x: capacities.to_vec(),
+                x: x.clone(),
                 series: combo_series(&|r| r.fidelity()),
             },
             Panel {
                 id: "A5-comm".into(),
                 title: "shuttling volume per pipeline".into(),
                 y_label: "communication ops".into(),
-                x: capacities.to_vec(),
+                x,
                 series: combo_series(&|r| r.counts.communication_ops() as f64),
             },
         ],
@@ -282,6 +379,7 @@ pub fn policy_ablation(circuit: &Circuit, capacities: &[u32], buffer_slots: u32)
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::toolflow::Toolflow;
     use qccd_circuit::generators;
     use qccd_compiler::{MappingKind, ReorderMethod};
 
@@ -331,6 +429,7 @@ mod tests {
     fn junction_cost_hurts_grid_only() {
         let fig = junction_cost_sweep(&mini(), 8, &[1, 4], CompilerConfig::default());
         let p = &fig.panels[0];
+        assert_eq!(p.x, vec![1, 4], "factors recovered from the model axis");
         let linear_cheap = p.series[0].y[0].unwrap();
         let linear_dear = p.series[0].y[1].unwrap();
         let grid_cheap = p.series[1].y[0].unwrap();
@@ -347,6 +446,7 @@ mod tests {
         let circuit = generators::qaoa(40, 1, 5);
         let fig = device_size_sweep(&circuit, &[2, 6, 8], 8, CompilerConfig::default());
         let p = &fig.panels[0];
+        assert_eq!(p.x, vec![2, 6, 8], "trap counts recovered from devices");
         // 2 traps × 8 = 16 slots < 40 qubits; 6 and 8 traps fit.
         assert!(p.series[0].y[0].is_none());
         assert!(p.series[0].y[1].is_some());

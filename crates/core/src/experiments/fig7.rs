@@ -4,19 +4,27 @@
 //! two-qubit gates with GS reordering." Per application the paper plots
 //! runtime and fidelity for both topologies (7a–7f) and, for SquareRoot,
 //! the motional-heating comparison (7g).
+//!
+//! Since the engine redesign this module is a thin projection over
+//! engine results: the device axis carries the linear family followed
+//! by the grid family (one device per swept capacity each), as built by
+//! [`ExperimentSpec::fig7`](crate::engine::ExperimentSpec::fig7).
 
 use super::{series_of, Figure, Panel};
-use crate::sweep::parallel_map;
-use crate::toolflow::Toolflow;
-use qccd_circuit::{generators, Circuit};
+use crate::engine::{run_spec, Engine, ExperimentSpec, GridResults, JobGrid};
+use qccd_circuit::Circuit;
 use qccd_compiler::CompilerConfig;
 use qccd_device::presets;
 use qccd_physics::{GateImpl, PhysicalModel};
 use qccd_sim::SimReport;
 
-/// Runs the Fig. 7 study on the full Table II suite.
+/// Runs the Fig. 7 study on the full Table II suite through the
+/// [`ExperimentSpec::fig7`] preset.
 pub fn generate(capacities: &[u32]) -> Figure {
-    generate_with_suite(&generators::paper_suite(), capacities)
+    run_spec(&ExperimentSpec::fig7(capacities), &Engine::new())
+        .expect("the fig7 preset spec is valid")
+        .artifact
+        .into_figure()
 }
 
 /// Runs the Fig. 7 study on a custom suite.
@@ -27,44 +35,46 @@ pub fn generate_with_suite(suite: &[Circuit], capacities: &[u32]) -> Figure {
 /// Runs the topology study under an explicit compiler configuration
 /// (the `--config` path of the `fig7` harness binary).
 pub fn generate_on(suite: &[Circuit], capacities: &[u32], config: CompilerConfig) -> Figure {
-    let model = PhysicalModel::with_gate(GateImpl::Fm);
+    let mut devices: Vec<_> = capacities.iter().map(|&c| presets::l6(c)).collect();
+    devices.extend(capacities.iter().map(|&c| presets::g2x3(c)));
+    let grid = JobGrid::from_axes(
+        suite.to_vec(),
+        devices,
+        vec![config],
+        vec![PhysicalModel::with_gate(GateImpl::Fm)],
+    );
+    let run = Engine::new().run(&grid);
+    project(&grid, &run.results, capacities)
+}
 
-    // (app, capacity, topology): topology 0 = linear, 1 = grid.
-    let cells: Vec<(usize, u32, u8)> = suite
-        .iter()
-        .enumerate()
-        .flat_map(|(a, _)| {
-            capacities
-                .iter()
-                .flat_map(move |&c| [(a, c, 0u8), (a, c, 1u8)])
-        })
-        .collect();
-    let outcomes = parallel_map(&cells, |&(a, cap, topo)| {
-        let device = if topo == 0 {
-            presets::l6(cap)
-        } else {
-            presets::g2x3(cap)
-        };
-        Toolflow::with_config(device, model, config)
-            .run(&suite[a])
-            .ok()
-    });
-
-    let row = |a: usize, topo: u8| -> Vec<Option<SimReport>> {
-        cells
+/// Shapes evaluated topology-grid results into the Fig. 7 panels. The
+/// device axis must hold the linear family in its first half and the
+/// grid family in its second (the [`ExperimentSpec::fig7`] layout).
+pub(crate) fn project(grid: &JobGrid, results: &GridResults, capacities: &[u32]) -> Figure {
+    let suite = grid.circuits();
+    let half = grid.devices().len() / 2;
+    let x: Vec<u32> = if capacities.len() == half {
+        capacities.to_vec()
+    } else {
+        grid.devices()[..half]
             .iter()
-            .zip(outcomes.iter())
-            .filter(|((ai, _, t), _)| *ai == a && *t == topo)
-            .map(|(_, o)| o.clone())
+            .map(qccd_device::Device::max_trap_capacity)
+            .collect()
+    };
+    let config = grid.configs().first().copied().unwrap_or_default();
+
+    // topology 0 = linear (first device half), 1 = grid (second half).
+    let row = |a: usize, topo: usize| -> Vec<Option<SimReport>> {
+        (0..half)
+            .map(|k| results.report(grid, a, topo * half + k, 0, 0).cloned())
             .collect()
     };
 
-    let x: Vec<u32> = capacities.to_vec();
     let panel_ids = ["7a", "7b", "7c", "7d", "7e", "7f"];
     let mut panels = Vec::new();
     for (a, circuit) in suite.iter().enumerate() {
         let linear = row(a, 0);
-        let grid = row(a, 1);
+        let grid_row = row(a, 1);
         let id = panel_ids.get(a).copied().unwrap_or("7x");
         panels.push(Panel {
             id: id.into(),
@@ -73,9 +83,9 @@ pub fn generate_on(suite: &[Circuit], capacities: &[u32], config: CompilerConfig
             x: x.clone(),
             series: vec![
                 series_of("time-linear", &linear, |r: &SimReport| r.total_time_s()),
-                series_of("time-grid", &grid, |r: &SimReport| r.total_time_s()),
+                series_of("time-grid", &grid_row, |r: &SimReport| r.total_time_s()),
                 series_of("fidelity-linear", &linear, |r: &SimReport| r.fidelity()),
-                series_of("fidelity-grid", &grid, |r: &SimReport| r.fidelity()),
+                series_of("fidelity-grid", &grid_row, |r: &SimReport| r.fidelity()),
             ],
         });
     }

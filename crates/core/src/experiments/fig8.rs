@@ -5,21 +5,27 @@
 //! Panels 8a–8f plot fidelity per application, 8g–8l runtime.
 //!
 //! The compiler's output depends on the reorder method but not on the
-//! gate implementation, so each (app, capacity, reorder) cell is compiled
-//! once and simulated under all four gate-time models.
+//! gate implementation, so the engine compiles each (app, capacity,
+//! reorder) group once and simulates it under all four gate-time
+//! models (the jobs differ only in physical model — see
+//! [`crate::engine::Engine`]). This module is the projection shaping
+//! those results into the paper's panels.
 
 use super::{Figure, Panel, Series};
-use crate::sweep::parallel_map;
-use crate::toolflow::Toolflow;
-use qccd_circuit::{generators, Circuit};
+use crate::engine::{run_spec, Engine, ExperimentSpec, GridResults, JobGrid};
+use qccd_circuit::Circuit;
 use qccd_compiler::{CompilerConfig, ReorderMethod};
 use qccd_device::{presets, Device};
 use qccd_physics::{GateImpl, PhysicalModel};
 use qccd_sim::SimReport;
 
-/// Runs the Fig. 8 study on the full Table II suite.
+/// Runs the Fig. 8 study on the full Table II suite through the
+/// [`ExperimentSpec::fig8`] preset.
 pub fn generate(capacities: &[u32]) -> Figure {
-    generate_with_suite(&generators::paper_suite(), capacities)
+    run_spec(&ExperimentSpec::fig8(capacities), &Engine::new())
+        .expect("the fig8 preset spec is valid")
+        .artifact
+        .into_figure()
 }
 
 /// Runs the Fig. 8 study on a custom suite.
@@ -31,59 +37,54 @@ pub fn generate_with_suite(suite: &[Circuit], capacities: &[u32]) -> Figure {
 /// `--device` path of the `fig8` harness binary).
 pub fn generate_on<F>(suite: &[Circuit], capacities: &[u32], device_at: F) -> Figure
 where
-    F: Fn(u32) -> Device + Sync,
+    F: Fn(u32) -> Device,
 {
-    let device_name = capacities
+    let grid = JobGrid::from_axes(
+        suite.to_vec(),
+        capacities.iter().map(|&c| device_at(c)).collect(),
+        ReorderMethod::ALL
+            .iter()
+            .map(|&r| CompilerConfig::with_reorder(r))
+            .collect(),
+        GateImpl::ALL
+            .iter()
+            .map(|&g| PhysicalModel::with_gate(g))
+            .collect(),
+    );
+    let run = Engine::new().run(&grid);
+    project(&grid, &run.results, capacities)
+}
+
+/// Shapes evaluated (app × capacity × reorder × gate) grid results into
+/// the Fig. 8 panels. The config axis carries the reorder methods, the
+/// model axis the gate implementations (the [`ExperimentSpec::fig8`]
+/// layout).
+pub(crate) fn project(grid: &JobGrid, results: &GridResults, capacities: &[u32]) -> Figure {
+    let suite = grid.circuits();
+    let x: Vec<u32> = if capacities.len() == grid.devices().len() {
+        capacities.to_vec()
+    } else {
+        grid.devices()
+            .iter()
+            .map(Device::max_trap_capacity)
+            .collect()
+    };
+    let device_name = grid
+        .devices()
         .first()
-        .map(|&c| device_at(c).name().to_owned())
+        .map(|d| d.name().to_owned())
         .unwrap_or_else(|| "??".to_owned());
 
-    // (app, capacity, reorder) cells; each yields 4 gate-impl outcomes.
-    let cells: Vec<(usize, u32, ReorderMethod)> = suite
-        .iter()
-        .enumerate()
-        .flat_map(|(a, _)| {
-            capacities
-                .iter()
-                .flat_map(move |&c| ReorderMethod::ALL.into_iter().map(move |r| (a, c, r)))
-        })
-        .collect();
-
-    let outcomes: Vec<Vec<Option<SimReport>>> = parallel_map(&cells, |&(a, cap, reorder)| {
-        let device = device_at(cap);
-        let config = CompilerConfig::with_reorder(reorder);
-        let tf = Toolflow::with_config(device, PhysicalModel::default(), config);
-        match tf.compile(&suite[a]) {
-            Err(_) => vec![None; GateImpl::ALL.len()],
-            Ok(exe) => GateImpl::ALL
-                .iter()
-                .map(|&g| {
-                    let tf =
-                        Toolflow::with_config(device_at(cap), PhysicalModel::with_gate(g), config);
-                    tf.simulate(&exe).ok()
-                })
-                .collect(),
-        }
-    });
-
     // series[(gate, reorder)] per app for fidelity and time.
-    let x: Vec<u32> = capacities.to_vec();
     let combo_series = |a: usize, get: &dyn Fn(&SimReport) -> f64| -> Vec<Series> {
         let mut out = Vec::new();
-        for (gi, g) in GateImpl::ALL.iter().enumerate() {
-            for r in ReorderMethod::ALL {
-                let y: Vec<Option<f64>> = capacities
-                    .iter()
-                    .map(|&c| {
-                        let idx = cells
-                            .iter()
-                            .position(|&(ai, ci, ri)| ai == a && ci == c && ri == r)
-                            .expect("cell exists");
-                        outcomes[idx][gi].as_ref().map(get)
-                    })
+        for (mi, model) in grid.models().iter().enumerate() {
+            for (cfgi, config) in grid.configs().iter().enumerate() {
+                let y: Vec<Option<f64>> = (0..grid.devices().len())
+                    .map(|k| results.report(grid, a, k, cfgi, mi).map(get))
                     .collect();
                 out.push(Series {
-                    label: format!("{}-{}", g.name(), r.name()),
+                    label: format!("{}-{}", model.gate_impl.name(), config.reorder.name()),
                     y,
                 });
             }
@@ -168,5 +169,27 @@ mod tests {
         assert!(fig.panel("8g").is_some());
         assert!(fig.panel("8h").is_some());
         assert_eq!(fig.panels.len(), 4);
+    }
+
+    #[test]
+    fn engine_shares_compilations_across_gate_models() {
+        // 2 apps × 1 cap × 2 reorders = 4 compilations serve
+        // 4 × 4-gate-model jobs: the Fig. 8 compile-once optimization,
+        // now provided by the engine's model-sharing groups.
+        let grid = JobGrid::from_axes(
+            mini_suite(),
+            vec![presets::l6(8)],
+            ReorderMethod::ALL
+                .iter()
+                .map(|&r| CompilerConfig::with_reorder(r))
+                .collect(),
+            GateImpl::ALL
+                .iter()
+                .map(|&g| PhysicalModel::with_gate(g))
+                .collect(),
+        );
+        let run = Engine::new().run(&grid);
+        assert_eq!(run.stats.jobs, 16);
+        assert_eq!(run.stats.compiles, 4);
     }
 }

@@ -14,9 +14,13 @@
 //!
 //! * [`Toolflow`] — run one circuit through compile + simulate;
 //! * [`sweep`] — parallel design-space exploration helpers;
-//! * [`experiments`] — drivers that regenerate **every table and figure**
-//!   of the paper's evaluation (Tables I–II, Figs. 6–8), used by the
-//!   `qccd-bench` harness binaries.
+//! * [`engine`] — the declarative experiment engine: a JSON-loadable
+//!   [`engine::ExperimentSpec`] expands into a deduplicated, cached,
+//!   batch-executed job grid whose results project into paper
+//!   artifacts;
+//! * [`experiments`] — the projections that regenerate **every table
+//!   and figure** of the paper's evaluation (Tables I–II, Figs. 6–8)
+//!   from engine results, used by the `qccd-bench` harness binaries.
 //!
 //! # Example
 //!
@@ -36,6 +40,7 @@
 
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod experiments;
 pub mod sweep;
 pub mod toolflow;

@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 
 pub mod builder;
+pub mod compact;
 pub mod ids;
 pub mod path;
 pub mod presets;

@@ -213,9 +213,12 @@ impl Device {
         }
     }
 
-    /// Loads a device from its JSON serialization (the format written
-    /// by `serde_json::to_string_pretty(&device)`), validating the
-    /// topology before returning it.
+    /// Loads a device from JSON: either its full serialization (the
+    /// format written by `serde_json::to_string_pretty(&device)`) or
+    /// the compact hand-authoring shape
+    /// `{name, traps, capacity, edges}` (recognized by the `edges`
+    /// key — see [`crate::compact`]). The topology is validated before
+    /// returning.
     ///
     /// # Errors
     ///
@@ -233,10 +236,24 @@ impl Device {
     /// let loaded = Device::from_json(&json).unwrap();
     /// assert_eq!(loaded, presets::l6(20));
     /// assert!(Device::from_json("{\"name\": 3}").is_err());
+    ///
+    /// // The compact shape builds the same two-trap line as
+    /// // `presets::linear(2, 8, 3)`.
+    /// let compact = r#"{"name": "L2", "traps": 2, "capacity": 8,
+    ///                   "edges": [["t0", "t1", 3]]}"#;
+    /// assert_eq!(
+    ///     Device::from_json(compact).unwrap(),
+    ///     presets::linear(2, 8, 3),
+    /// );
     /// ```
     pub fn from_json(text: &str) -> Result<Device, DeviceJsonError> {
-        let device: Device =
+        let value: serde::Value =
             serde_json::from_str(text).map_err(|e| DeviceJsonError::Parse(e.to_string()))?;
+        if crate::compact::is_compact(&value) {
+            return crate::compact::from_compact_value(&value);
+        }
+        let device =
+            Device::from_value(&value).map_err(|e| DeviceJsonError::Parse(e.to_string()))?;
         device.validate().map_err(DeviceJsonError::Invalid)?;
         Ok(device)
     }

@@ -10,8 +10,9 @@
 use std::process::Command;
 
 /// The examples the README's quickstart and study sections reference.
-const EXAMPLES: [&str; 6] = [
+const EXAMPLES: [&str; 7] = [
     "custom_device",
+    "experiment_engine",
     "microarch_study",
     "qasm_roundtrip",
     "quickstart",
@@ -91,7 +92,7 @@ fn target_inventory_is_complete() {
             "qccd-bench binary `{bin}` missing from cargo metadata"
         );
     }
-    for bench in ["toolflow", "compiler", "figures"] {
+    for bench in ["toolflow", "compiler", "figures", "engine"] {
         let needle = format!("benches/{bench}.rs");
         assert!(
             metadata.contains(&needle),

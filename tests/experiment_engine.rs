@@ -1,0 +1,204 @@
+//! Engine/legacy equivalence and cache behavior of the declarative
+//! experiment engine.
+//!
+//! The redesign's correctness contract: an [`ExperimentSpec`]-expanded
+//! job grid must reproduce the legacy sweep helpers cell for cell, a
+//! repeated run against the same cache must execute zero jobs while
+//! producing byte-identical artifacts, and the committed
+//! `examples/experiments/*.json` presets must drive the engine to the
+//! same artifacts as the figure modules.
+
+use proptest::prelude::*;
+use qccd::engine::{run_spec, Engine, EngineOptions, ExperimentSpec, JobGrid, Projection};
+use qccd::sweep::{capacity_sweep, policy_grid, policy_sweep};
+use qccd_circuit::generators;
+use qccd_compiler::CompilerConfig;
+use qccd_device::presets;
+use qccd_physics::PhysicalModel;
+use std::path::PathBuf;
+
+fn repo_path(rel: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qccd-engine-suite-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Every committed experiment spec parses, round-trips, and expands.
+#[test]
+fn committed_experiment_specs_load_and_expand() {
+    let quick = qccd::experiments::QUICK_CAPACITIES;
+    for (rel, expected_jobs) in [
+        ("examples/experiments/table1.json", 0),
+        ("examples/experiments/table2.json", 0),
+        // The files pin the full 11-capacity paper sweeps.
+        ("examples/experiments/fig6.json", 6 * 11),
+        ("examples/experiments/fig7.json", 6 * 22),
+        ("examples/experiments/fig8.json", 6 * 11 * 2 * 4),
+        ("examples/experiments/ablation_buffer.json", 5),
+        ("examples/experiments/ablation_heating.json", 11 * 2),
+        ("examples/experiments/ablation_junction.json", 2 * 4),
+        ("examples/experiments/ablation_device_size.json", 6),
+        ("examples/experiments/ablation_policy.json", 2 * 16),
+    ] {
+        let spec =
+            ExperimentSpec::from_file(repo_path(rel)).unwrap_or_else(|e| panic!("{rel}: {e}"));
+        let grid = spec.expand().unwrap_or_else(|e| panic!("{rel}: {e}"));
+        assert_eq!(grid.job_count(), expected_jobs, "{rel} job grid size");
+        // Round trip: serialization is the canonical pinned form.
+        let json = serde_json::to_string_pretty(&spec).unwrap();
+        assert_eq!(ExperimentSpec::from_json(&json).unwrap(), spec, "{rel}");
+    }
+    let _ = quick;
+}
+
+/// The committed fig6 spec, capped to the quick capacities, reproduces
+/// the committed golden bytes through the generic `run --spec` path.
+#[test]
+fn quick_capped_fig6_spec_reproduces_the_golden_bytes() {
+    let mut spec = ExperimentSpec::from_file(repo_path("examples/experiments/fig6.json")).unwrap();
+    spec.capacities = qccd::experiments::QUICK_CAPACITIES.to_vec();
+    let run = run_spec(&spec, &Engine::new()).unwrap();
+    let produced = serde_json::to_string_pretty(&run.artifact).unwrap();
+    let golden = std::fs::read_to_string(repo_path("tests/goldens/fig6_quick.json")).unwrap();
+    assert_eq!(produced, golden, "spec-driven fig6 drifted from the golden");
+}
+
+/// Cache acceptance: the second run of a spec executes zero jobs and
+/// emits byte-identical artifact JSON.
+#[test]
+fn second_spec_run_is_all_cache_hits_with_identical_bytes() {
+    let dir = temp_dir("cache-hit");
+    let engine = Engine::with_options(EngineOptions {
+        cache_dir: Some(dir.clone()),
+        ..EngineOptions::default()
+    });
+    let mut spec = ExperimentSpec::fig8(&[8]);
+    spec.circuits.truncate(2);
+    spec.name = "fig8-mini".into();
+
+    let first = run_spec(&spec, &engine).unwrap();
+    assert_eq!(first.stats.executed, first.stats.jobs);
+    assert_eq!(first.stats.jobs, 2 * 2 * 4);
+
+    let second = run_spec(&spec, &engine).unwrap();
+    assert_eq!(second.stats.executed, 0, "second run must execute nothing");
+    assert_eq!(second.stats.cached, second.stats.jobs);
+    assert_eq!(
+        serde_json::to_string_pretty(&first.artifact).unwrap(),
+        serde_json::to_string_pretty(&second.artifact).unwrap(),
+        "cached artifact bytes drifted"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A projection change alone (same axes) is pure post-processing: the
+/// cache carries over across different projections of one grid.
+#[test]
+fn cache_is_shared_across_projections_of_the_same_grid() {
+    let dir = temp_dir("cross-projection");
+    let engine = Engine::with_options(EngineOptions {
+        cache_dir: Some(dir.clone()),
+        ..EngineOptions::default()
+    });
+    let mut spec = ExperimentSpec::fig6(&[8]);
+    spec.circuits.truncate(1);
+    let first = run_spec(&spec, &engine).unwrap();
+    assert_eq!(first.stats.executed, 1);
+
+    spec.projection = Projection::Cells;
+    let second = run_spec(&spec, &engine).unwrap();
+    assert_eq!(second.stats.executed, 0);
+    assert!(second.artifact.as_table().is_some());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A spec-shaped grid over (circuit × capacities) reproduces
+    /// `capacity_sweep` cell for cell: same successful reports, same
+    /// error text for infeasible points.
+    #[test]
+    fn grid_reproduces_capacity_sweep_cell_for_cell(
+        n in 4u32..30,
+        ops in 1usize..120,
+        seed in 0u64..1000,
+        cap_lo in 3u32..9,
+        cap_n in 1usize..5,
+    ) {
+        // A small ascending capacity axis (the vendored proptest has no
+        // collection strategies; derive the vector from two scalars).
+        let caps: Vec<u32> = (0..cap_n as u32).map(|i| cap_lo + 2 * i).collect();
+        let circuit = generators::random_circuit(n, ops, 0.5, seed);
+        let config = CompilerConfig::default();
+        let model = PhysicalModel::default();
+
+        let legacy = capacity_sweep(&circuit, &caps, &model, &config, presets::l6);
+
+        let grid = JobGrid::from_axes(
+            vec![circuit.clone()],
+            caps.iter().map(|&c| presets::l6(c)).collect(),
+            vec![config],
+            vec![model],
+        );
+        let run = Engine::new().run(&grid);
+
+        for (k, point) in legacy.iter().enumerate() {
+            let engine_outcome = run.results.outcome(&grid, 0, k, 0, 0);
+            match (&point.outcome, engine_outcome) {
+                (Ok(expected), Ok(got)) => prop_assert_eq!(expected, got),
+                (Err(expected), Err(got)) => {
+                    prop_assert_eq!(&expected.to_string(), got)
+                }
+                (expected, got) => prop_assert!(
+                    false,
+                    "capacity {}: legacy {:?} vs engine {:?}",
+                    point.capacity, expected, got
+                ),
+            }
+        }
+    }
+
+    /// A spec-shaped grid over the 16-combination policy axis
+    /// reproduces `policy_sweep` cell for cell.
+    #[test]
+    fn grid_reproduces_policy_sweep_cell_for_cell(
+        n in 4u32..22,
+        ops in 1usize..100,
+        seed in 0u64..1000,
+    ) {
+        let circuit = generators::random_circuit(n, ops, 0.5, seed);
+        let device = presets::g2x3(8);
+        let model = PhysicalModel::default();
+        let configs = policy_grid(2);
+
+        let legacy = policy_sweep(&circuit, &device, &model, &configs);
+
+        let grid = JobGrid::from_axes(
+            vec![circuit.clone()],
+            vec![device.clone()],
+            configs.clone(),
+            vec![model],
+        );
+        let run = Engine::new().run(&grid);
+
+        for (g, point) in legacy.iter().enumerate() {
+            let engine_outcome = run.results.outcome(&grid, 0, 0, g, 0);
+            match (&point.outcome, engine_outcome) {
+                (Ok(expected), Ok(got)) => prop_assert_eq!(expected, got),
+                (Err(expected), Err(got)) => {
+                    prop_assert_eq!(&expected.to_string(), got)
+                }
+                (expected, got) => prop_assert!(
+                    false,
+                    "combo {}: legacy {:?} vs engine {:?}",
+                    point.config.policy_label(), expected, got
+                ),
+            }
+        }
+    }
+}

@@ -182,6 +182,72 @@ fn example_t3_device_file_loads_and_runs() {
     assert!(report.fidelity() > 0.0);
 }
 
+/// The committed experiment-spec files are the serializations of the
+/// preset `ExperimentSpec` constructors — the declarative form of every
+/// paper artifact. Pinned golden-style (regenerate with
+/// `UPDATE_GOLDENS=1`), and each must round-trip through the parser to
+/// the exact preset.
+#[test]
+fn example_experiment_specs_match_the_presets() {
+    use qccd::engine::ExperimentSpec;
+    use qccd::experiments::PAPER_CAPACITIES;
+    let base = qccd_compiler::CompilerConfig::default();
+    for (rel, spec) in [
+        ("examples/experiments/table1.json", ExperimentSpec::table1()),
+        ("examples/experiments/table2.json", ExperimentSpec::table2()),
+        (
+            "examples/experiments/fig6.json",
+            ExperimentSpec::fig6(&PAPER_CAPACITIES),
+        ),
+        (
+            "examples/experiments/fig7.json",
+            ExperimentSpec::fig7(&PAPER_CAPACITIES),
+        ),
+        (
+            "examples/experiments/fig8.json",
+            ExperimentSpec::fig8(&PAPER_CAPACITIES),
+        ),
+        (
+            "examples/experiments/ablation_buffer.json",
+            ExperimentSpec::ablation_buffer(&base),
+        ),
+        (
+            "examples/experiments/ablation_heating.json",
+            ExperimentSpec::ablation_heating(&PAPER_CAPACITIES, &base),
+        ),
+        (
+            "examples/experiments/ablation_junction.json",
+            ExperimentSpec::ablation_junction(&base),
+        ),
+        (
+            "examples/experiments/ablation_device_size.json",
+            ExperimentSpec::ablation_device_size(&base),
+        ),
+        (
+            "examples/experiments/ablation_policy.json",
+            ExperimentSpec::ablation_policy(base.buffer_slots),
+        ),
+    ] {
+        check_golden(
+            rel,
+            &serde_json::to_string_pretty(&spec).expect("specs serialize"),
+        );
+        let text = std::fs::read_to_string(repo_path(rel)).expect("spec file exists");
+        let loaded = ExperimentSpec::from_json(&text).unwrap_or_else(|e| panic!("{rel}: {e}"));
+        assert_eq!(loaded, spec, "{rel} does not round-trip to its preset");
+    }
+}
+
+/// The hand-written compact device example loads to the same device as
+/// the full-shape example (and the preset both serialize).
+#[test]
+fn example_compact_device_file_matches_the_preset() {
+    let text = std::fs::read_to_string(repo_path("examples/devices/l6_cap20_compact.json"))
+        .expect("compact example exists");
+    let loaded = Device::from_json(&text).expect("compact example loads");
+    assert_eq!(loaded, presets::l6(20));
+}
+
 /// The figure goldens must themselves be loadable as `Figure`s from
 /// disk — the consumer-side contract for anyone plotting the dumps.
 #[test]
