@@ -6,6 +6,18 @@
 //! cargo run --release -p qccd-bench --bin run -- --spec my_study.json \
 //!     --quick --cache /tmp/qccd-cache --json out.json
 //!
+//! # Multi-process sharding: workers execute disjoint hash-partitioned
+//! # slices into one shared cache; --merge assembles the artifact once
+//! # all shards have run. --cache-gc sweeps stale/orphaned entries.
+//! cargo run --release -p qccd-bench --bin run -- \
+//!     --spec my_study.json --cache /shared/cache --shard 0/2
+//! cargo run --release -p qccd-bench --bin run -- \
+//!     --spec my_study.json --cache /shared/cache --shard 1/2
+//! cargo run --release -p qccd-bench --bin run -- \
+//!     --spec my_study.json --cache /shared/cache --merge --json out.json
+//! cargo run --release -p qccd-bench --bin run -- \
+//!     --cache /shared/cache --cache-gc --cache-max-entries 10000
+//!
 //! # Legacy custom-device mode: the Table II suite end to end on a
 //! # JSON-loaded device:
 //! cargo run --release -p qccd-bench --bin run -- \

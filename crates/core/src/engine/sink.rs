@@ -140,7 +140,10 @@ impl JsonSink {
 impl ArtifactSink for JsonSink {
     fn emit(&mut self, artifact: &Artifact) -> io::Result<()> {
         let text = serde_json::to_string_pretty(artifact).expect("artifacts serialize");
-        std::fs::write(&self.path, text)
+        // Atomic (temp file + rename): a concurrent reader of the
+        // artifact path sees a previous complete dump or this one,
+        // never a half-written JSON that could pass for a final file.
+        super::cache::write_atomic(&self.path, &text)
     }
 }
 
@@ -188,12 +191,22 @@ mod tests {
 
     #[test]
     fn json_sink_writes_golden_format_bytes() {
-        let path = std::env::temp_dir().join(format!("qccd-sink-test-{}.json", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("qccd-sink-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("artifact.json");
         let artifact = Artifact::Figure(sample_figure());
         JsonSink::new(&path).emit(&artifact).unwrap();
+        JsonSink::new(&path).emit(&artifact).unwrap(); // overwrite in place
         let on_disk = std::fs::read_to_string(&path).unwrap();
         assert_eq!(on_disk, serde_json::to_string_pretty(&artifact).unwrap());
-        let _ = std::fs::remove_file(&path);
+        // The atomic write leaves no temp file next to the artifact.
+        assert_eq!(
+            std::fs::read_dir(&dir).unwrap().count(),
+            1,
+            "only the artifact itself may remain"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -54,7 +54,14 @@ where
             })
             .collect();
         for handle in handles {
-            for (i, r) in handle.join().expect("sweep worker panicked") {
+            // Re-raise a worker panic with its original payload (a bare
+            // `expect` would discard it), so the failing sweep point's
+            // message reaches the user instead of a generic one.
+            let own = match handle.join() {
+                Ok(own) => own,
+                Err(payload) => std::panic::resume_unwind(payload),
+            };
+            for (i, r) in own {
                 results[i] = Some(r);
             }
         }
@@ -198,6 +205,29 @@ mod tests {
     fn parallel_map_on_empty_input() {
         let items: Vec<u32> = vec![];
         assert!(parallel_map(&items, |&x| x).is_empty());
+    }
+
+    #[test]
+    fn worker_panics_propagate_with_their_original_payload() {
+        let items: Vec<u32> = (0..16).collect();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            parallel_map(&items, |&x| {
+                if x == 3 {
+                    panic!("sweep point {x} exploded");
+                }
+                x
+            })
+        }));
+        let payload = result.expect_err("the panic must propagate");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_owned()))
+            .unwrap_or_default();
+        assert!(
+            message.contains("sweep point 3 exploded"),
+            "original payload lost, got: {message:?}"
+        );
     }
 
     #[test]

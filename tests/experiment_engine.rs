@@ -9,7 +9,10 @@
 //! same artifacts as the figure modules.
 
 use proptest::prelude::*;
-use qccd::engine::{run_spec, Engine, EngineOptions, ExperimentSpec, JobGrid, Projection};
+use qccd::engine::{
+    merge_spec, run_spec, run_spec_jobs, Engine, EngineOptions, ExperimentSpec, JobGrid,
+    JobOutcome, Projection, ResultCache, Shard, SpecError,
+};
 use qccd::sweep::{capacity_sweep, policy_grid, policy_sweep};
 use qccd_circuit::generators;
 use qccd_compiler::CompilerConfig;
@@ -116,8 +119,176 @@ fn cache_is_shared_across_projections_of_the_same_grid() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+/// Atomic cache I/O under contention: writer threads repeatedly
+/// overwrite the same entry while reader threads poll it. With the
+/// temp-file + rename protocol, once the entry has been stored once, a
+/// load can never miss (the old in-place `fs::write` exposed truncated
+/// files that read as misses) and every load is one of the complete
+/// outcomes that was actually stored.
+#[test]
+fn concurrent_cache_writers_never_yield_corrupt_or_missing_loads() {
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    let dir = temp_dir("stress");
+    let cache = ResultCache::open(&dir).unwrap();
+    let grid = JobGrid::from_axes(
+        vec![generators::bv(&[true; 6])],
+        vec![presets::l6(6)],
+        vec![CompilerConfig::default()],
+        vec![PhysicalModel::default()],
+    );
+    let id = grid.jobs()[0].id.clone();
+    let report = qccd::Toolflow::new(presets::l6(6), PhysicalModel::default())
+        .run(&generators::bv(&[true; 6]))
+        .expect("fits");
+    let ok: JobOutcome = Ok(report);
+    let err: JobOutcome = Err("synthetic failure".into());
+
+    const WRITERS: usize = 4;
+    const READERS: usize = 4;
+    const STORES: usize = 150;
+    const LOADS: usize = 150;
+    let written = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for w in 0..WRITERS {
+            let (cache, id, ok, err, written) = (&cache, &id, &ok, &err, &written);
+            scope.spawn(move || {
+                for i in 0..STORES {
+                    cache.store(id, if (i + w) % 2 == 0 { ok } else { err });
+                    written.store(true, Ordering::Release);
+                }
+            });
+        }
+        for _ in 0..READERS {
+            let (cache, id, ok, err, written) = (&cache, &id, &ok, &err, &written);
+            scope.spawn(move || {
+                let mut loads = 0;
+                while loads < LOADS {
+                    if !written.load(Ordering::Acquire) {
+                        std::thread::yield_now();
+                        continue;
+                    }
+                    let loaded = cache.load(id);
+                    assert!(
+                        loaded.as_ref() == Some(ok) || loaded.as_ref() == Some(err),
+                        "corrupt or missing load under concurrent writes: {loaded:?}"
+                    );
+                    loads += 1;
+                }
+            });
+        }
+    });
+
+    // The storm settles into exactly one entry file — no temp litter.
+    assert_eq!(cache.len(), 1);
+    assert_eq!(std::fs::read_dir(&dir).unwrap().count(), 1);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Sharded execution + merge against one shared cache reproduces the
+/// unsharded artifact byte for byte, and a premature merge names the
+/// missing jobs.
+#[test]
+fn sharded_spec_runs_plus_merge_match_the_unsharded_artifact() {
+    let dir = temp_dir("shard-merge");
+    let mut spec = ExperimentSpec::fig6(&[8, 10]);
+    spec.circuits.truncate(3);
+    spec.name = "fig6-shard-mini".into();
+    let unsharded = run_spec(&spec, &Engine::new()).unwrap();
+    assert_eq!(unsharded.stats.jobs, 6);
+
+    let cached_engine = Engine::with_options(EngineOptions {
+        cache_dir: Some(dir.clone()),
+        ..EngineOptions::default()
+    });
+    // Merging before any shard ran fails, naming every missing job.
+    match merge_spec(&spec, &cached_engine).unwrap_err() {
+        SpecError::IncompleteCache { missing } => assert_eq!(missing.len(), 6),
+        other => panic!("expected IncompleteCache, got {other:?}"),
+    }
+
+    let mut executed = 0;
+    let mut skipped = 0;
+    for k in 0..3 {
+        let engine = Engine::with_options(EngineOptions {
+            cache_dir: Some(dir.clone()),
+            shard: Some(Shard::new(k, 3).unwrap()),
+            ..EngineOptions::default()
+        });
+        let run = run_spec_jobs(&spec, &engine).unwrap();
+        assert_eq!(run.stats.cached, 0, "shards own disjoint job sets");
+        executed += run.stats.executed;
+        skipped += run.stats.skipped;
+    }
+    assert_eq!(executed, 6, "every job executed exactly once across shards");
+    assert_eq!(skipped, 2 * 6, "each shard skipped the other two slices");
+
+    let merged = merge_spec(&spec, &cached_engine).unwrap();
+    assert_eq!(merged.stats.executed, 0, "merge only reads the cache");
+    assert_eq!(
+        serde_json::to_string_pretty(&merged.artifact).unwrap(),
+        serde_json::to_string_pretty(&unsharded.artifact).unwrap(),
+        "merged artifact drifted from the single-process run"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Shard partitioning: for random grids and M ∈ {2, 3, 5}, the M
+    /// shards are pairwise disjoint, their union is exactly `jobs()`,
+    /// and the assignment is stable across grid constructions and
+    /// unchanged for surviving jobs when the grid is edited.
+    #[test]
+    fn shard_partition_is_disjoint_exhaustive_and_stable(
+        n_circuits in 1usize..4,
+        n_devices in 1usize..3,
+        n_configs in 1usize..3,
+        seed in 0u64..1000,
+    ) {
+        let circuits: Vec<_> = (0..n_circuits)
+            .map(|i| generators::random_circuit(5 + i as u32, 20, 0.5, seed + i as u64))
+            .collect();
+        let devices: Vec<_> = (0..n_devices).map(|i| presets::l6(6 + 2 * i as u32)).collect();
+        let configs: Vec<_> = policy_grid(2).into_iter().take(n_configs).collect();
+        let models = vec![PhysicalModel::default()];
+        let grid = JobGrid::from_axes(
+            circuits.clone(), devices.clone(), configs.clone(), models.clone());
+
+        for m in [2usize, 3, 5] {
+            let shards: Vec<Shard> = (0..m).map(|k| Shard::new(k, m).unwrap()).collect();
+            for job in grid.jobs() {
+                let owners = shards.iter().filter(|s| s.owns(&job.id)).count();
+                prop_assert_eq!(owners, 1, "job {} must have exactly one owner", job.id);
+                prop_assert!(job.id.shard_of(m) < m);
+            }
+            // Stable across constructions: the same axes give the same
+            // ids, hence the same owners.
+            let rebuilt = JobGrid::from_axes(
+                circuits.clone(), devices.clone(), configs.clone(), models.clone());
+            for (a, b) in grid.jobs().iter().zip(rebuilt.jobs()) {
+                prop_assert_eq!(&a.id, &b.id);
+                prop_assert_eq!(a.id.shard_of(m), b.id.shard_of(m));
+            }
+            // Stable under grid edits: the assignment hashes the job id,
+            // not its position, so adding an axis entry never moves an
+            // existing job to a different shard.
+            let mut extended = circuits.clone();
+            extended.push(generators::qft(5));
+            let edited = JobGrid::from_axes(
+                extended, devices.clone(), configs.clone(), models.clone());
+            for job in grid.jobs() {
+                let owner_before = job.id.shard_of(m);
+                let survived = edited
+                    .jobs()
+                    .iter()
+                    .find(|j| j.id == job.id)
+                    .expect("original job survives the edit");
+                prop_assert_eq!(owner_before, survived.id.shard_of(m));
+            }
+        }
+    }
 
     /// A spec-shaped grid over (circuit × capacities) reproduces
     /// `capacity_sweep` cell for cell: same successful reports, same
