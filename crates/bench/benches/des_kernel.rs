@@ -1,0 +1,142 @@
+//! Criterion benchmarks of the discrete-event simulation kernel.
+//!
+//! Three angles:
+//!
+//! * `event_queue_phold` — a PHOLD-style synthetic stress of the bare
+//!   event queue: a self-driving event population where every pop
+//!   schedules a successor at a pseudo-random future time, plus a
+//!   hold-heavy variant with many exact ties. This isolates heap +
+//!   tie-break cost from the simulation semantics.
+//! * `simulate_{legacy,des}` — both kernels over the same compiled
+//!   executables (a gate-heavy and a shuttle-heavy workload), so the
+//!   event kernel's overhead against the lock-step scan stays visible
+//!   in `BENCH_sim.json` history.
+//! * `hooked` — the DES kernel with a counting [`EventHook`] attached,
+//!   pinning the cost of the observation seam itself.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use qccd::sim::{
+    simulate, simulate_des, simulate_des_with_hook, Event, EventHook, EventKind, EventQueue,
+};
+use qccd_circuit::{generators, Circuit};
+use qccd_compiler::{compile, CompilerConfig, Executable};
+use qccd_device::{presets, Device};
+use qccd_physics::PhysicalModel;
+
+/// Deterministic xorshift: the PHOLD population needs cheap pseudo-random
+/// timestamps without a `rand` dependency in the bench profile.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// Classic PHOLD: `population` events in flight; every pop pushes one
+/// successor at `now + random hold time`, for `hops` scheduling rounds.
+fn phold(population: usize, hops: usize, quantum: f64) -> (f64, usize) {
+    let mut queue = EventQueue::new();
+    let mut state = 0x9e3779b97f4a7c15u64;
+    for inst in 0..population {
+        let t = (xorshift(&mut state) % 1000) as f64 * quantum;
+        queue.push(t, EventKind::GateStart { inst });
+    }
+    let mut last = 0.0;
+    let mut popped = 0;
+    for _ in 0..hops {
+        let event = queue.pop().expect("population is conserved");
+        debug_assert!(event.time >= last);
+        last = event.time;
+        popped += 1;
+        let hold = (1 + xorshift(&mut state) % 1000) as f64 * quantum;
+        queue.push(
+            event.time + hold,
+            EventKind::GateFinish {
+                inst: event.kind.inst(),
+            },
+        );
+    }
+    (last, popped)
+}
+
+fn bench_event_queue_phold(c: &mut Criterion) {
+    let mut g = c.benchmark_group("des_kernel");
+    // Well-spread timestamps: heap discipline dominates.
+    g.bench_function("event_queue_phold_1k_x_32", |b| {
+        b.iter(|| black_box(phold(1_000, 32_000, 1e-6)));
+    });
+    // Coarse quantum: most pops tie on time and resolve through the
+    // FIFO sequence ordering.
+    g.bench_function("event_queue_phold_ties", |b| {
+        b.iter(|| black_box(phold(1_000, 32_000, 1.0)));
+    });
+    g.finish();
+}
+
+/// Gate-heavy workload: deep QAOA on a roomy device — almost no
+/// shuttling, so per-event overhead dominates.
+fn gate_heavy() -> (Executable, Device) {
+    let device = presets::l6(20);
+    let circuit = generators::qaoa(40, 4, 11);
+    let exe = compile(&circuit, &device, &CompilerConfig::default()).expect("compiles");
+    (exe, device)
+}
+
+/// Shuttle-heavy workload: a congested random circuit on small traps —
+/// long split/move/merge chains queueing on shared segments.
+fn shuttle_heavy() -> (Executable, Device) {
+    let device = presets::g2x3(8);
+    let circuit: Circuit = generators::random_circuit(40, 400, 0.7, 13);
+    let exe = compile(&circuit, &device, &CompilerConfig::default()).expect("compiles");
+    (exe, device)
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let model = PhysicalModel::default();
+    let mut g = c.benchmark_group("des_kernel");
+    for (label, (exe, device)) in [
+        ("gate_heavy", gate_heavy()),
+        ("shuttle_heavy", shuttle_heavy()),
+    ] {
+        g.bench_function(format!("simulate_legacy_{label}"), |b| {
+            b.iter(|| simulate(black_box(&exe), &device, &model).expect("simulates"));
+        });
+        g.bench_function(format!("simulate_des_{label}"), |b| {
+            b.iter(|| simulate_des(black_box(&exe), &device, &model).expect("simulates"));
+        });
+    }
+    g.finish();
+}
+
+struct Counter(usize);
+
+impl EventHook for Counter {
+    fn on_event(&mut self, _event: &Event) {
+        self.0 += 1;
+    }
+}
+
+fn bench_hook_seam(c: &mut Criterion) {
+    let (exe, device) = shuttle_heavy();
+    let model = PhysicalModel::default();
+    let mut g = c.benchmark_group("des_kernel");
+    g.bench_function("simulate_des_hooked_shuttle_heavy", |b| {
+        b.iter(|| {
+            let mut hook = Counter(0);
+            let r = simulate_des_with_hook(black_box(&exe), &device, &model, &mut hook)
+                .expect("simulates");
+            black_box((r, hook.0))
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_event_queue_phold,
+    bench_kernels,
+    bench_hook_seam
+);
+criterion_main!(benches);

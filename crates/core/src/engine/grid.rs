@@ -15,7 +15,7 @@ use qccd_circuit::Circuit;
 use qccd_compiler::CompilerConfig;
 use qccd_device::Device;
 use qccd_physics::PhysicalModel;
-use qccd_sim::SimReport;
+use qccd_sim::{SimKernel, SimReport};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -110,6 +110,10 @@ pub struct JobGrid {
     jobs: Vec<Job>,
     /// Flat cell index (circuit-major, model-minor) → job index.
     cells: Vec<usize>,
+    /// Simulation kernel pinned by the originating spec, if any.
+    /// Deliberately *not* part of the job ids: both kernels produce
+    /// identical reports, so cached outcomes are shared across kernels.
+    kernel: Option<SimKernel>,
 }
 
 impl JobGrid {
@@ -182,7 +186,21 @@ impl JobGrid {
             models,
             jobs,
             cells,
+            kernel: None,
         }
+    }
+
+    /// Pins the simulation kernel executed jobs use, overriding the
+    /// engine's [`EngineOptions::kernel`](super::EngineOptions::kernel)
+    /// default (`None` defers to the engine).
+    pub fn with_kernel(mut self, kernel: Option<SimKernel>) -> JobGrid {
+        self.kernel = kernel;
+        self
+    }
+
+    /// The kernel pinned on this grid, if any.
+    pub fn kernel(&self) -> Option<SimKernel> {
+        self.kernel
     }
 
     /// The circuit axis.

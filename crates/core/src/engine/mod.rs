@@ -147,6 +147,12 @@ pub struct EngineOptions {
     /// (to a directory shared by all shards) so [`Engine::merge`] can
     /// assemble the full results afterwards.
     pub shard: Option<Shard>,
+    /// Simulation kernel for executed jobs. A grid expanded from a spec
+    /// that pins its own kernel overrides this. Both kernels produce
+    /// identical reports (see [`qccd_sim::SimKernel`]), so cached
+    /// outcomes are shared across kernels and the job ids do not encode
+    /// the choice.
+    pub kernel: qccd_sim::SimKernel,
 }
 
 /// Default number of jobs per execution batch.
@@ -303,6 +309,7 @@ impl Engine {
             }
         }
 
+        let kernel = grid.kernel().unwrap_or(self.options.kernel);
         let pending: Vec<usize> = (0..jobs.len()).filter(|&i| outcomes[i].is_none()).collect();
         let batch_size = if self.options.batch_size == 0 {
             DEFAULT_BATCH_SIZE
@@ -336,7 +343,8 @@ impl Engine {
                     let device = &grid.devices()[lead.device];
                     let config = grid.configs()[lead.config];
                     let toolflow =
-                        Toolflow::with_config(device.clone(), grid.models()[lead.model], config);
+                        Toolflow::with_config(device.clone(), grid.models()[lead.model], config)
+                            .with_kernel(kernel);
                     match toolflow.compile(circuit) {
                         Err(e) => members.iter().map(|&ji| (ji, Err(e.to_string()))).collect(),
                         Ok(exe) => members
@@ -346,7 +354,8 @@ impl Engine {
                                     device.clone(),
                                     grid.models()[jobs[ji].model],
                                     config,
-                                );
+                                )
+                                .with_kernel(kernel);
                                 (ji, toolflow.simulate(&exe).map_err(|e| e.to_string()))
                             })
                             .collect(),
@@ -1025,6 +1034,7 @@ mod tests {
             }],
             configs: vec![ConfigSpec::Config(CompilerConfig::default())],
             models: vec![ModelSpec::Default],
+            kernel: None,
         };
         let run = run_spec(&spec, &Engine::new()).unwrap();
         let table = run.artifact.into_table();

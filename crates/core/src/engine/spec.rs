@@ -29,6 +29,7 @@ use qccd_circuit::Circuit;
 use qccd_compiler::{CompilerConfig, EvictionKind, MappingKind, ReorderMethod, RoutingKind};
 use qccd_device::{presets, Device};
 use qccd_physics::{GateImpl, HeatingModel, PhysicalModel, ShuttleTimes};
+use qccd_sim::SimKernel;
 use serde::{de, DeError, Deserialize, Serialize, Value};
 use std::fmt;
 use std::path::Path;
@@ -722,6 +723,15 @@ pub struct ExperimentSpec {
     pub configs: Vec<ConfigSpec>,
     /// The physical-model axis.
     pub models: Vec<ModelSpec>,
+    /// Simulation kernel override (JSON: `"kernel": "des"`). `None`
+    /// defers to the engine's [`EngineOptions::kernel`]
+    /// default and is omitted from the serialized form, so specs
+    /// written before the kernel switch existed stay byte-identical.
+    /// Both kernels produce identical reports, so this never changes
+    /// results — only execution strategy.
+    ///
+    /// [`EngineOptions::kernel`]: crate::engine::EngineOptions::kernel
+    pub kernel: Option<SimKernel>,
 }
 
 impl ExperimentSpec {
@@ -769,7 +779,7 @@ impl ExperimentSpec {
             .iter()
             .map(ModelSpec::resolve)
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(JobGrid::from_axes(circuits, devices, configs, models))
+        Ok(JobGrid::from_axes(circuits, devices, configs, models).with_kernel(self.kernel))
     }
 
     // ------------------------------------------------------------------
@@ -794,6 +804,7 @@ impl ExperimentSpec {
             devices: vec![],
             configs: vec![],
             models: vec![ModelSpec::Default],
+            kernel: None,
         }
     }
 
@@ -807,6 +818,7 @@ impl ExperimentSpec {
             devices: vec![],
             configs: vec![],
             models: vec![],
+            kernel: None,
         }
     }
 
@@ -823,6 +835,7 @@ impl ExperimentSpec {
             }],
             configs: vec![ConfigSpec::Config(CompilerConfig::default())],
             models: vec![ModelSpec::Gate(GateImpl::Fm)],
+            kernel: None,
         }
     }
 
@@ -845,6 +858,7 @@ impl ExperimentSpec {
             ],
             configs: vec![ConfigSpec::Config(CompilerConfig::default())],
             models: vec![ModelSpec::Gate(GateImpl::Fm)],
+            kernel: None,
         }
     }
 
@@ -864,6 +878,7 @@ impl ExperimentSpec {
                 .map(|&r| ConfigSpec::Config(CompilerConfig::with_reorder(r)))
                 .collect(),
             models: GateImpl::ALL.iter().map(|&g| ModelSpec::Gate(g)).collect(),
+            kernel: None,
         }
     }
 
@@ -888,6 +903,7 @@ impl ExperimentSpec {
                 })
                 .collect(),
             models: vec![ModelSpec::Default],
+            kernel: None,
         }
     }
 
@@ -911,6 +927,7 @@ impl ExperimentSpec {
                     ..PhysicalModel::default()
                 }),
             ],
+            kernel: None,
         }
     }
 
@@ -947,6 +964,7 @@ impl ExperimentSpec {
                     })
                 })
                 .collect(),
+            kernel: None,
         }
     }
 
@@ -968,6 +986,7 @@ impl ExperimentSpec {
                 .collect(),
             configs: vec![ConfigSpec::Config(*base)],
             models: vec![ModelSpec::Default],
+            kernel: None,
         }
     }
 
@@ -985,13 +1004,14 @@ impl ExperimentSpec {
             }],
             configs: vec![ConfigSpec::PolicyGrid { buffer_slots }],
             models: vec![ModelSpec::Default],
+            kernel: None,
         }
     }
 }
 
 impl Serialize for ExperimentSpec {
     fn to_value(&self) -> Value {
-        Value::Object(vec![
+        let mut entries = vec![
             ("name".to_owned(), Value::Str(self.name.clone())),
             ("projection".to_owned(), self.projection.to_value()),
             ("circuits".to_owned(), self.circuits.to_value()),
@@ -999,7 +1019,13 @@ impl Serialize for ExperimentSpec {
             ("devices".to_owned(), self.devices.to_value()),
             ("configs".to_owned(), self.configs.to_value()),
             ("models".to_owned(), self.models.to_value()),
-        ])
+        ];
+        // Emitted only when set: the golden example specs predate the
+        // kernel switch and must stay byte-identical.
+        if let Some(kernel) = self.kernel {
+            entries.push(("kernel".to_owned(), Value::Str(kernel.to_string())));
+        }
+        Value::Object(entries)
     }
 }
 
@@ -1016,9 +1042,16 @@ impl Deserialize for ExperimentSpec {
                 "devices",
                 "configs",
                 "models",
+                "kernel",
             ],
             "experiment spec",
         )?;
+        let kernel = opt_field::<String>(entries, "kernel")?
+            .map(|s| {
+                s.parse::<SimKernel>()
+                    .map_err(|e| DeError::custom(format!("field `kernel`: {e}")))
+            })
+            .transpose()?;
         Ok(ExperimentSpec {
             name: req_field(entries, "name", "ExperimentSpec")?,
             projection: req_field(entries, "projection", "ExperimentSpec")?,
@@ -1028,6 +1061,7 @@ impl Deserialize for ExperimentSpec {
             configs: opt_field(entries, "configs")?
                 .unwrap_or_else(|| vec![ConfigSpec::Config(CompilerConfig::default())]),
             models: opt_field(entries, "models")?.unwrap_or_else(|| vec![ModelSpec::Default]),
+            kernel,
         })
     }
 }
@@ -1189,6 +1223,35 @@ mod tests {
             other => panic!("expected config, got {other:?}"),
         }
         assert_eq!(spec.configs[1], ConfigSpec::PolicyGrid { buffer_slots: 2 });
+    }
+
+    #[test]
+    fn kernel_field_round_trips_and_is_omitted_when_unset() {
+        // Unset: no `kernel` key in the serialized form.
+        let spec = ExperimentSpec::fig6(&QUICK_CAPACITIES);
+        assert_eq!(spec.kernel, None);
+        let json = serde_json::to_string_pretty(&spec).unwrap();
+        assert!(!json.contains("kernel"), "{json}");
+        assert_eq!(spec.expand().unwrap().kernel(), None);
+
+        // Set: serialized, parsed back, carried onto the grid.
+        let mut spec = spec;
+        spec.kernel = Some(SimKernel::Des);
+        let json = serde_json::to_string_pretty(&spec).unwrap();
+        assert!(json.contains("\"kernel\": \"des\""), "{json}");
+        let back = ExperimentSpec::from_json(&json).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.expand().unwrap().kernel(), Some(SimKernel::Des));
+
+        // Parses case-insensitively from hand-written JSON; rejects junk.
+        let spec =
+            ExperimentSpec::from_json(r#"{"name": "k", "projection": "cells", "kernel": "DES"}"#)
+                .unwrap();
+        assert_eq!(spec.kernel, Some(SimKernel::Des));
+        let err =
+            ExperimentSpec::from_json(r#"{"name": "k", "projection": "cells", "kernel": "turbo"}"#)
+                .unwrap_err();
+        assert!(err.to_string().contains("turbo"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,158 @@
+//! Typed simulation events: the vocabulary of the DES kernel.
+//!
+//! Every state change in the event kernel is a timestamped [`Event`]
+//! popped from the [`EventQueue`](crate::des::EventQueue) in committed
+//! order (nondecreasing time, FIFO sequence within a tick). Hooks
+//! observe this stream verbatim, which is the seam later scenario work
+//! (ion loss, calibration drift) attaches to.
+
+use qccd_device::JunctionId;
+
+/// One timestamped occurrence in the kernel's committed event order.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Simulation time in µs.
+    pub time: f64,
+    /// Schedule sequence number: among events with equal `time`, the
+    /// kernel commits in ascending `seq` (the order the events were
+    /// scheduled), making ties deterministic.
+    pub seq: u64,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// Event payloads. `inst` indexes the executable's instruction stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A gate or measurement began executing in its trap.
+    GateStart {
+        /// Instruction index.
+        inst: usize,
+    },
+    /// A gate or measurement finished.
+    GateFinish {
+        /// Instruction index.
+        inst: usize,
+    },
+    /// An in-flight ion began traversing one route leg.
+    ShuttleLegStart {
+        /// Instruction index.
+        inst: usize,
+    },
+    /// An in-flight ion completed its route leg.
+    ShuttleLegFinish {
+        /// Instruction index.
+        inst: usize,
+    },
+    /// A chain split began.
+    SplitStart {
+        /// Instruction index.
+        inst: usize,
+    },
+    /// A chain split finished; the ion is now in flight.
+    SplitFinish {
+        /// Instruction index.
+        inst: usize,
+    },
+    /// A chain merge began.
+    MergeStart {
+        /// Instruction index.
+        inst: usize,
+    },
+    /// A chain merge finished; the ion joined the destination chain.
+    MergeFinish {
+        /// Instruction index.
+        inst: usize,
+    },
+    /// A physical ion rotation (split–rotate–merge exchange) began.
+    IonSwapStart {
+        /// Instruction index.
+        inst: usize,
+    },
+    /// A physical ion rotation finished.
+    IonSwapFinish {
+        /// Instruction index.
+        inst: usize,
+    },
+    /// An in-flight ion crossed a junction mid-leg. Purely informational:
+    /// the crossing time is interpolated linearly within the leg's
+    /// `[start, end)` window, not derived from per-element speeds.
+    JunctionTransit {
+        /// Instruction index of the enclosing move.
+        inst: usize,
+        /// The junction crossed.
+        junction: JunctionId,
+    },
+}
+
+impl EventKind {
+    /// The instruction this event belongs to.
+    pub fn inst(&self) -> usize {
+        match *self {
+            EventKind::GateStart { inst }
+            | EventKind::GateFinish { inst }
+            | EventKind::ShuttleLegStart { inst }
+            | EventKind::ShuttleLegFinish { inst }
+            | EventKind::SplitStart { inst }
+            | EventKind::SplitFinish { inst }
+            | EventKind::MergeStart { inst }
+            | EventKind::MergeFinish { inst }
+            | EventKind::IonSwapStart { inst }
+            | EventKind::IonSwapFinish { inst }
+            | EventKind::JunctionTransit { inst, .. } => inst,
+        }
+    }
+
+    /// `true` for the `*Finish` variants (the instruction's resources are
+    /// released when this event commits).
+    pub fn is_finish(&self) -> bool {
+        matches!(
+            self,
+            EventKind::GateFinish { .. }
+                | EventKind::ShuttleLegFinish { .. }
+                | EventKind::SplitFinish { .. }
+                | EventKind::MergeFinish { .. }
+                | EventKind::IonSwapFinish { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inst_is_extracted_from_every_variant() {
+        let kinds = [
+            EventKind::GateStart { inst: 7 },
+            EventKind::GateFinish { inst: 7 },
+            EventKind::ShuttleLegStart { inst: 7 },
+            EventKind::ShuttleLegFinish { inst: 7 },
+            EventKind::SplitStart { inst: 7 },
+            EventKind::SplitFinish { inst: 7 },
+            EventKind::MergeStart { inst: 7 },
+            EventKind::MergeFinish { inst: 7 },
+            EventKind::IonSwapStart { inst: 7 },
+            EventKind::IonSwapFinish { inst: 7 },
+            EventKind::JunctionTransit {
+                inst: 7,
+                junction: JunctionId(0),
+            },
+        ];
+        for k in kinds {
+            assert_eq!(k.inst(), 7, "{k:?}");
+        }
+    }
+
+    #[test]
+    fn finish_classification() {
+        assert!(EventKind::GateFinish { inst: 0 }.is_finish());
+        assert!(EventKind::MergeFinish { inst: 0 }.is_finish());
+        assert!(!EventKind::GateStart { inst: 0 }.is_finish());
+        assert!(!EventKind::JunctionTransit {
+            inst: 0,
+            junction: JunctionId(1),
+        }
+        .is_finish());
+    }
+}

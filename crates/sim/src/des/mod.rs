@@ -1,0 +1,265 @@
+//! The discrete-event simulation kernel.
+//!
+//! A time-ordered event kernel over explicit resource timelines,
+//! replacing the legacy engine's lock-step ready-time scan while
+//! reusing the same [`SpanSet`](crate::spans::SpanSet) /
+//! [`SimReport`](crate::SimReport) accounting. The two kernels are
+//! pinned **field-for-field identical** (bit-identical floats, checked
+//! by `tests/sim_kernel_diff.rs` over every golden spec and the full
+//! policy matrix), so switching kernels can never change a paper
+//! artifact.
+//!
+//! ## Architecture
+//!
+//! * [`EventQueue`] — binary min-heap of typed [`Event`]s ordered by
+//!   `(time, seq)`: deterministic FIFO tie-breaking at equal times.
+//! * [`ResourceTimelines`] — per-resource (ion / trap / segment /
+//!   junction) FIFO claim queues with exclusive occupancy; attempted
+//!   double-booking of a path element is a panic, not a silent overlap.
+//! * [`kernel`](self) loop — binds instructions to resources in program
+//!   order, then commits start/finish (and informational junction
+//!   transit) events in time order.
+//!
+//! ## Why both kernels agree bit-for-bit
+//!
+//! Float addition is not associative, so the kernel never accumulates
+//! report fields in event order. Instead the bind pass computes all
+//! timing-independent quantities in program order (legal because the
+//! claim queues serialize same-resource instructions in program order),
+//! the event loop resolves only start/end/wait times, and finalization
+//! replays the per-instruction contributions in program order — the
+//! exact float-op sequence of the legacy scan.
+//!
+//! ## The hook seam
+//!
+//! [`simulate_des_with_hook`] offers every committed event to an
+//! [`EventHook`] in deterministic order. This is the injection point
+//! later scenario work (mid-circuit ion loss, collision modelling,
+//! calibration drift) builds on; [`NullHook`] is the default no-op.
+
+mod event;
+mod kernel;
+mod queue;
+mod timeline;
+
+pub use event::{Event, EventKind};
+pub use queue::EventQueue;
+pub use timeline::ResourceTimelines;
+
+use crate::error::SimError;
+use crate::report::SimReport;
+use qccd_compiler::Executable;
+use qccd_device::Device;
+use qccd_physics::PhysicalModel;
+
+/// Observer of the kernel's committed event stream.
+///
+/// Called once per event in commit order (nondecreasing time, FIFO
+/// sequence within a tick). Hooks cannot yet alter the schedule — this
+/// seam exists so later scenario layers (ion loss, calibration drift)
+/// have a deterministic attachment point.
+pub trait EventHook {
+    /// Observes one committed event.
+    fn on_event(&mut self, event: &Event);
+}
+
+/// The default hook: ignores every event.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullHook;
+
+impl EventHook for NullHook {
+    fn on_event(&mut self, _event: &Event) {}
+}
+
+/// Simulates `exe` with the discrete-event kernel.
+///
+/// Produces a [`SimReport`] field-for-field identical to
+/// [`simulate`](crate::simulate) — same values, same bits — for every
+/// valid executable, and the identical [`SimError`] for every invalid
+/// one.
+///
+/// # Errors
+///
+/// Exactly the conditions documented on [`simulate`](crate::simulate).
+pub fn simulate_des(
+    exe: &Executable,
+    device: &Device,
+    model: &PhysicalModel,
+) -> Result<SimReport, SimError> {
+    simulate_des_with_hook(exe, device, model, &mut NullHook)
+}
+
+/// [`simulate_des`] with an [`EventHook`] observing every committed
+/// event.
+///
+/// # Errors
+///
+/// Exactly the conditions documented on [`simulate`](crate::simulate).
+/// Validation and binding errors are raised before any event commits,
+/// so a hook never observes a partial failed run.
+pub fn simulate_des_with_hook(
+    exe: &Executable,
+    device: &Device,
+    model: &PhysicalModel,
+    hook: &mut dyn EventHook,
+) -> Result<SimReport, SimError> {
+    kernel::run(exe, device, model, hook)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate;
+    use qccd_circuit::{generators, Circuit, Qubit};
+    use qccd_compiler::{compile, CompilerConfig};
+    use qccd_device::presets;
+
+    fn assert_identical(circuit: &qccd_circuit::Circuit, device: &Device) {
+        let model = PhysicalModel::default();
+        let exe = compile(circuit, device, &CompilerConfig::default()).expect("compiles");
+        let legacy = simulate(&exe, device, &model).expect("legacy simulates");
+        let des = simulate_des(&exe, device, &model).expect("des simulates");
+        assert_eq!(legacy, des, "kernels diverged on {}", circuit.name());
+        // PartialEq checks values; the goldens care about bits.
+        assert_eq!(
+            serde_json::to_string_pretty(&legacy).unwrap(),
+            serde_json::to_string_pretty(&des).unwrap(),
+            "kernels bit-diverged on {}",
+            circuit.name()
+        );
+    }
+
+    #[test]
+    fn bell_pair_matches_legacy() {
+        let mut c = Circuit::new("bell", 2);
+        c.h(Qubit(0));
+        c.cx(Qubit(0), Qubit(1));
+        c.measure_all();
+        assert_identical(&c, &presets::l6(20));
+    }
+
+    #[test]
+    fn shuttling_circuit_matches_legacy() {
+        let mut c = Circuit::new("far", 40);
+        for i in 0..40 {
+            c.h(Qubit(i));
+        }
+        c.cx(Qubit(0), Qubit(39));
+        c.measure_all();
+        assert_identical(&c, &presets::l6(12));
+    }
+
+    #[test]
+    fn congested_random_circuit_matches_legacy() {
+        let c = generators::random_circuit(40, 120, 0.8, 9);
+        assert_identical(&c, &presets::l6(12));
+    }
+
+    #[test]
+    fn grid_random_circuit_matches_legacy() {
+        let c = generators::random_circuit(30, 200, 0.5, 5);
+        assert_identical(&c, &presets::g2x3(10));
+    }
+
+    #[test]
+    fn empty_executable_yields_zero_report() {
+        let exe = qccd_compiler::Executable::new(
+            "empty".into(),
+            1,
+            vec![
+                vec![qccd_device::IonId(0)],
+                vec![],
+                vec![],
+                vec![],
+                vec![],
+                vec![],
+            ],
+            vec![],
+            vec![0],
+        );
+        let d = presets::l6(10);
+        let r = simulate_des(&exe, &d, &PhysicalModel::default()).expect("runs");
+        assert_eq!(r.total_time_us, 0.0);
+        assert_eq!(r.log_fidelity, 0.0);
+        assert_eq!(r, simulate(&exe, &d, &PhysicalModel::default()).unwrap());
+    }
+
+    #[test]
+    fn hook_sees_paired_events_in_time_order() {
+        struct Recorder {
+            events: Vec<Event>,
+        }
+        impl EventHook for Recorder {
+            fn on_event(&mut self, event: &Event) {
+                self.events.push(*event);
+            }
+        }
+        let c = generators::random_circuit(24, 80, 0.5, 3);
+        let d = presets::l6(10);
+        let exe = compile(&c, &d, &CompilerConfig::default()).unwrap();
+        let mut hook = Recorder { events: Vec::new() };
+        simulate_des_with_hook(&exe, &d, &PhysicalModel::default(), &mut hook).unwrap();
+
+        // Commit order: nondecreasing time, ascending seq at ties.
+        for w in hook.events.windows(2) {
+            assert!(
+                w[0].time < w[1].time || (w[0].time == w[1].time && w[0].seq < w[1].seq),
+                "events out of order: {w:?}"
+            );
+        }
+        // Every instruction starts exactly once and finishes exactly once,
+        // start before finish.
+        let mut started = vec![false; exe.len()];
+        let mut finished = vec![false; exe.len()];
+        for e in &hook.events {
+            let i = e.kind.inst();
+            if e.kind.is_finish() {
+                assert!(started[i] && !finished[i], "{e:?}");
+                finished[i] = true;
+            } else if !matches!(e.kind, EventKind::JunctionTransit { .. }) {
+                assert!(!started[i], "{e:?}");
+                started[i] = true;
+            } else {
+                assert!(started[i] && !finished[i], "transit outside its leg: {e:?}");
+            }
+        }
+        assert!(started.iter().all(|&s| s));
+        assert!(finished.iter().all(|&f| f));
+        // Junction transits appear iff the executable crosses junctions.
+        let transits = hook
+            .events
+            .iter()
+            .filter(|e| matches!(e.kind, EventKind::JunctionTransit { .. }))
+            .count();
+        assert_eq!(transits, exe.counts().junction_crossings);
+    }
+
+    #[test]
+    fn malformed_streams_yield_identical_errors() {
+        use qccd_device::{IonId, Side, TrapId};
+        let exe = Executable::new(
+            "bad".into(),
+            3,
+            vec![
+                vec![IonId(0), IonId(1), IonId(2)],
+                vec![],
+                vec![],
+                vec![],
+                vec![],
+                vec![],
+            ],
+            vec![qccd_compiler::Inst::Split {
+                ion: IonId(1),
+                trap: TrapId(0),
+                side: Side::Right,
+            }],
+            vec![0, 1, 2],
+        );
+        let d = presets::l6(10);
+        let m = PhysicalModel::default();
+        assert_eq!(
+            simulate(&exe, &d, &m).unwrap_err(),
+            simulate_des(&exe, &d, &m).unwrap_err()
+        );
+    }
+}

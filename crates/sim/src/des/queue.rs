@@ -1,0 +1,153 @@
+//! The pending-event set: a binary min-heap with deterministic ties.
+//!
+//! Events pop in nondecreasing time; events scheduled for the *same*
+//! time pop in the order they were pushed (FIFO), via a monotonically
+//! increasing sequence number stamped at push time. Determinism here is
+//! load-bearing: the differential harness pins the DES kernel
+//! bit-identical to the legacy engine, and any tie-break wobble would
+//! surface as hook-order (and, for future scenario hooks, result)
+//! nondeterminism.
+
+use super::event::{Event, EventKind};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Min-heap of scheduled [`Event`]s ordered by `(time, seq)`.
+#[derive(Debug, Default)]
+pub struct EventQueue {
+    heap: BinaryHeap<HeapEntry>,
+    next_seq: u64,
+}
+
+impl EventQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue::default()
+    }
+
+    /// Schedules `kind` at `time`, stamping the next FIFO sequence
+    /// number. Returns the stamped number.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` is NaN — a NaN timestamp has no place in the
+    /// total order and would otherwise sort arbitrarily.
+    pub fn push(&mut self, time: f64, kind: EventKind) -> u64 {
+        assert!(!time.is_nan(), "event time must not be NaN");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(HeapEntry(Event { time, seq, kind }));
+        seq
+    }
+
+    /// Removes and returns the earliest event (`time` ascending, `seq`
+    /// ascending within a tick), or `None` when drained.
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop().map(|e| e.0)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+/// Heap adapter: `BinaryHeap` is a max-heap, so the ordering is
+/// reversed to pop the *smallest* `(time, seq)` first.
+#[derive(Debug)]
+struct HeapEntry(Event);
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for HeapEntry {}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // `total_cmp` gives a total order over all non-NaN floats (NaN is
+        // rejected at push); reversed on both keys for min-heap behavior.
+        other
+            .0
+            .time
+            .total_cmp(&self.0.time)
+            .then_with(|| other.0.seq.cmp(&self.0.seq))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(inst: usize) -> EventKind {
+        EventKind::GateStart { inst }
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(3.0, k(0));
+        q.push(1.0, k(1));
+        q.push(2.0, k(2));
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.kind.inst())
+            .collect();
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn equal_times_pop_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.push(5.0, k(i));
+        }
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.kind.inst())
+            .collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn seq_numbers_are_monotone_across_times() {
+        let mut q = EventQueue::new();
+        assert_eq!(q.push(9.0, k(0)), 0);
+        assert_eq!(q.push(1.0, k(1)), 1);
+        assert_eq!(q.push(1.0, k(2)), 2);
+        assert_eq!(q.len(), 3);
+        assert!(!q.is_empty());
+        let first = q.pop().unwrap();
+        assert_eq!((first.time, first.seq), (1.0, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_times_are_rejected() {
+        EventQueue::new().push(f64::NAN, k(0));
+    }
+
+    #[test]
+    fn negative_zero_and_zero_tie_break_by_seq() {
+        // total_cmp orders -0.0 before +0.0; with equal bit patterns the
+        // seq tie-break keeps FIFO order.
+        let mut q = EventQueue::new();
+        q.push(0.0, k(0));
+        q.push(-0.0, k(1));
+        q.push(0.0, k(2));
+        let order: Vec<usize> = std::iter::from_fn(|| q.pop())
+            .map(|e| e.kind.inst())
+            .collect();
+        assert_eq!(order, vec![1, 0, 2]);
+    }
+}

@@ -1,0 +1,158 @@
+//! Explicit per-resource timelines: FIFO claim queues plus occupancy.
+//!
+//! Every schedulable resource — each ion, trap, segment and junction —
+//! owns a claim queue populated in *program order* during the bind
+//! pass. An instruction may start only when it is at the head of every
+//! queue it appears in; it then holds those resources exclusively until
+//! its finish event releases them. Because each queue preserves program
+//! order, the head-of-all-queues rule cannot deadlock (the earliest
+//! unfinished instruction is always eventually at every head) and two
+//! instructions can never hold the same segment or junction at once —
+//! [`ResourceTimelines::reserve`] panics on any attempted double-book.
+
+use std::collections::VecDeque;
+
+/// FIFO claim queues and occupancy state for a flat-indexed resource
+/// space.
+#[derive(Debug)]
+pub struct ResourceTimelines {
+    /// Per resource: the time its last released holder finished.
+    free_at: Vec<f64>,
+    /// Per resource: the instruction currently holding it, if any.
+    holder: Vec<Option<usize>>,
+    /// Per resource: pending claimants, in program order. The head may
+    /// be executing (it stays queued until released).
+    queues: Vec<VecDeque<usize>>,
+}
+
+impl ResourceTimelines {
+    /// Creates timelines for `resources` resources, all free at t = 0.
+    pub fn new(resources: usize) -> Self {
+        ResourceTimelines {
+            free_at: vec![0.0; resources],
+            holder: vec![None; resources],
+            queues: vec![VecDeque::new(); resources],
+        }
+    }
+
+    /// Appends `inst` to resource `r`'s claim queue. Must be called in
+    /// program order during the bind pass.
+    pub fn enqueue(&mut self, r: usize, inst: usize) {
+        self.queues[r].push_back(inst);
+    }
+
+    /// The next claimant of `r` (possibly the current holder).
+    pub fn head(&self, r: usize) -> Option<usize> {
+        self.queues[r].front().copied()
+    }
+
+    /// The finish time of `r`'s last released holder.
+    pub fn free_at(&self, r: usize) -> f64 {
+        self.free_at[r]
+    }
+
+    /// The instruction currently holding `r`, if any.
+    pub fn holder(&self, r: usize) -> Option<usize> {
+        self.holder[r]
+    }
+
+    /// Marks `inst` as holding `r` exclusively.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is already held (a double-book) or if `inst` is not
+    /// at the head of `r`'s claim queue (a FIFO violation). Both would
+    /// silently corrupt timing, so they are hard errors.
+    pub fn reserve(&mut self, r: usize, inst: usize) {
+        if let Some(other) = self.holder[r] {
+            panic!("resource {r} double-booked: inst {inst} vs holder {other}");
+        }
+        assert_eq!(
+            self.head(r),
+            Some(inst),
+            "inst {inst} reserved resource {r} out of queue order"
+        );
+        self.holder[r] = Some(inst);
+    }
+
+    /// Releases `r` at time `end`, pops `inst` from the queue head, and
+    /// returns the next claimant (the new head), if any.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inst` is not the current holder.
+    pub fn release(&mut self, r: usize, inst: usize, end: f64) -> Option<usize> {
+        assert_eq!(
+            self.holder[r],
+            Some(inst),
+            "inst {inst} released resource {r} it does not hold"
+        );
+        self.holder[r] = None;
+        let popped = self.queues[r].pop_front();
+        debug_assert_eq!(popped, Some(inst));
+        self.free_at[r] = end;
+        self.head(r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_grant_and_release_cycle() {
+        let mut tl = ResourceTimelines::new(2);
+        tl.enqueue(0, 0);
+        tl.enqueue(0, 1);
+        tl.enqueue(1, 1);
+        assert_eq!(tl.head(0), Some(0));
+        tl.reserve(0, 0);
+        assert_eq!(tl.holder(0), Some(0));
+        // Head stays 0 while executing.
+        assert_eq!(tl.head(0), Some(0));
+        let next = tl.release(0, 0, 12.5);
+        assert_eq!(next, Some(1));
+        assert_eq!(tl.free_at(0), 12.5);
+        assert_eq!(tl.holder(0), None);
+        tl.reserve(0, 1);
+        tl.reserve(1, 1);
+        assert_eq!(tl.release(0, 1, 20.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "double-booked")]
+    fn double_booking_panics() {
+        let mut tl = ResourceTimelines::new(1);
+        tl.enqueue(0, 0);
+        tl.enqueue(0, 1);
+        tl.reserve(0, 0);
+        tl.reserve(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of queue order")]
+    fn out_of_order_reserve_panics() {
+        let mut tl = ResourceTimelines::new(1);
+        tl.enqueue(0, 0);
+        tl.enqueue(0, 1);
+        tl.reserve(0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not hold")]
+    fn releasing_unheld_resource_panics() {
+        let mut tl = ResourceTimelines::new(1);
+        tl.enqueue(0, 0);
+        tl.release(0, 0, 1.0);
+    }
+
+    #[test]
+    fn free_at_starts_at_zero() {
+        let tl = ResourceTimelines::new(3);
+        for r in 0..3 {
+            assert_eq!(tl.free_at(r), 0.0);
+            assert_eq!(tl.head(r), None);
+            assert_eq!(tl.holder(r), None);
+        }
+    }
+}

@@ -14,8 +14,13 @@ use qccd_physics::PhysicalModel;
 ///
 /// Returns a [`SimError`] if the executable is inconsistent with the
 /// device (unknown ids) or internally malformed (split of a non-end ion,
-/// gate on in-flight ions, …). Executables produced by
-/// [`qccd_compiler::compile()`] for the same device never fail.
+/// gate on in-flight ions, …). [`qccd_compiler::compile()`] is designed
+/// to emit executables that pass these checks for the device it compiled
+/// against, but the simulator re-validates every stream: hand-authored
+/// executables, device/executable mismatches, or compiler bugs all
+/// surface here rather than as silent corruption. Each [`SimError`]
+/// variant has a negative-path unit test pinning the condition that
+/// raises it.
 pub fn simulate(
     exe: &Executable,
     device: &Device,
@@ -75,8 +80,10 @@ pub fn simulate(
     })
 }
 
-/// Structural validation of the executable against the device.
-fn validate(exe: &Executable, device: &Device) -> Result<(), SimError> {
+/// Structural validation of the executable against the device. Shared by
+/// both kernels (legacy and [`crate::des`]) so they reject identical
+/// streams with identical errors.
+pub(crate) fn validate(exe: &Executable, device: &Device) -> Result<(), SimError> {
     if exe.initial_chains().len() != device.trap_count() {
         return Err(SimError::UnknownTrap(TrapId(
             exe.initial_chains().len() as u32 - 1,
@@ -146,14 +153,22 @@ struct Engine<'a> {
     makespan: f64,
 }
 
+/// Folds one operation's error probability into the running
+/// log-fidelity. Shared by both kernels so the accumulation arithmetic
+/// (clamp, `-inf` on certain failure, `ln_1p` form) cannot drift
+/// between them.
+pub(crate) fn charge(log_fidelity: &mut f64, err: f64) {
+    let err = err.clamp(0.0, 1.0);
+    if err >= 1.0 {
+        *log_fidelity = f64::NEG_INFINITY;
+    } else {
+        *log_fidelity += (1.0 - err).ln_1p_workaround();
+    }
+}
+
 impl Engine<'_> {
     fn charge_error(&mut self, err: f64) {
-        let err = err.clamp(0.0, 1.0);
-        if err >= 1.0 {
-            self.log_fidelity = f64::NEG_INFINITY;
-        } else {
-            self.log_fidelity += (1.0 - err).ln_1p_workaround();
-        }
+        charge(&mut self.log_fidelity, err);
     }
 
     fn bump_trap_energy(&mut self, trap: TrapId, energy: f64) {
@@ -655,5 +670,184 @@ mod tests {
         let exe = compile(&c, &d6, &CompilerConfig::default()).unwrap();
         let d2 = presets::linear(2, 10, 4);
         assert!(simulate(&exe, &d2, &PhysicalModel::default()).is_err());
+    }
+
+    // ------------------------------------------------------------------
+    // Negative paths: every SimError variant has a pinned raising
+    // condition, and both kernels reject the stream with the identical
+    // error.
+    // ------------------------------------------------------------------
+
+    /// A hand-built (usually malformed) executable on `num_ions` ions.
+    fn exe_on(num_ions: u32, chains: Vec<Vec<IonId>>, insts: Vec<Inst>) -> Executable {
+        let final_map = (0..num_ions).collect();
+        Executable::new("bad".into(), num_ions, chains, insts, final_map)
+    }
+
+    /// All ions in trap 0 of a 6-trap device.
+    fn chains_in_trap0(num_ions: u32) -> Vec<Vec<IonId>> {
+        let mut chains = vec![vec![]; 6];
+        chains[0] = (0..num_ions).map(IonId).collect();
+        chains
+    }
+
+    /// Both kernels must reject `exe` with exactly `want`.
+    fn assert_both_kernels_reject(exe: &Executable, want: SimError) {
+        let d = presets::l6(10);
+        let m = PhysicalModel::default();
+        assert_eq!(simulate(exe, &d, &m).unwrap_err(), want, "legacy kernel");
+        assert_eq!(
+            crate::simulate_des(exe, &d, &m).unwrap_err(),
+            want,
+            "des kernel"
+        );
+    }
+
+    #[test]
+    fn unknown_trap_when_chain_table_mismatches_device() {
+        // 4 chains against the 6-trap L6 device.
+        let exe = exe_on(1, vec![vec![IonId(0)], vec![], vec![], vec![]], vec![]);
+        assert_both_kernels_reject(&exe, SimError::UnknownTrap(TrapId(3)));
+    }
+
+    #[test]
+    fn unknown_trap_when_split_names_a_missing_trap() {
+        let exe = exe_on(
+            1,
+            chains_in_trap0(1),
+            vec![Inst::Split {
+                ion: IonId(0),
+                trap: TrapId(99),
+                side: Side::Right,
+            }],
+        );
+        assert_both_kernels_reject(&exe, SimError::UnknownTrap(TrapId(99)));
+    }
+
+    #[test]
+    fn unknown_ion_when_chain_exceeds_ion_count() {
+        let mut chains = chains_in_trap0(2);
+        chains[1] = vec![IonId(7)]; // only ions 0..2 exist
+        let exe = exe_on(2, chains, vec![]);
+        assert_both_kernels_reject(&exe, SimError::UnknownIon(IonId(7)));
+    }
+
+    #[test]
+    fn unknown_ion_when_chains_repeat_an_ion() {
+        let mut chains = chains_in_trap0(2);
+        chains[1] = vec![IonId(1)]; // ion 1 already placed in trap 0
+        let exe = exe_on(2, chains, vec![]);
+        assert_both_kernels_reject(&exe, SimError::UnknownIon(IonId(1)));
+    }
+
+    #[test]
+    fn unknown_ion_when_instruction_names_a_missing_ion() {
+        let exe = exe_on(1, chains_in_trap0(1), vec![Inst::Measure { ion: IonId(3) }]);
+        assert_both_kernels_reject(&exe, SimError::UnknownIon(IonId(3)));
+    }
+
+    #[test]
+    fn ion_in_flight_when_gating_a_split_ion() {
+        // Split ion 1 off, then gate it without merging it first.
+        let exe = exe_on(
+            2,
+            chains_in_trap0(2),
+            vec![
+                Inst::Split {
+                    ion: IonId(1),
+                    trap: TrapId(0),
+                    side: Side::Right,
+                },
+                Inst::OneQubit {
+                    gate: qccd_circuit::OneQubitGate::H,
+                    ion: IonId(1),
+                },
+            ],
+        );
+        assert_both_kernels_reject(&exe, SimError::IonInFlight(IonId(1)));
+    }
+
+    #[test]
+    fn not_colocated_when_ms_spans_traps() {
+        let mut chains = chains_in_trap0(1);
+        chains[1] = vec![IonId(1)];
+        let exe = exe_on(
+            2,
+            chains,
+            vec![Inst::Ms {
+                a: IonId(0),
+                b: IonId(1),
+            }],
+        );
+        assert_both_kernels_reject(&exe, SimError::NotColocated(IonId(0), IonId(1)));
+    }
+
+    #[test]
+    fn not_adjacent_when_ion_swap_skips_a_neighbour() {
+        // Chain [0, 1, 2]: swapping 0 and 2 crosses ion 1.
+        let exe = exe_on(
+            3,
+            chains_in_trap0(3),
+            vec![Inst::IonSwap {
+                a: IonId(0),
+                b: IonId(2),
+            }],
+        );
+        assert_both_kernels_reject(&exe, SimError::NotAdjacent(IonId(0), IonId(2)));
+    }
+
+    #[test]
+    fn split_not_at_end_for_a_mid_chain_ion() {
+        let exe = exe_on(
+            3,
+            chains_in_trap0(3),
+            vec![Inst::Split {
+                ion: IonId(1),
+                trap: TrapId(0),
+                side: Side::Right,
+            }],
+        );
+        assert_both_kernels_reject(&exe, SimError::SplitNotAtEnd(IonId(1), TrapId(0)));
+    }
+
+    #[test]
+    fn split_not_at_end_when_trap_disagrees_with_placement() {
+        // Ion 0 ends trap 0's chain, but the split names trap 1.
+        let exe = exe_on(
+            1,
+            chains_in_trap0(1),
+            vec![Inst::Split {
+                ion: IonId(0),
+                trap: TrapId(1),
+                side: Side::Right,
+            }],
+        );
+        assert_both_kernels_reject(&exe, SimError::SplitNotAtEnd(IonId(0), TrapId(1)));
+    }
+
+    #[test]
+    fn ion_not_in_flight_when_merging_a_trapped_ion() {
+        let exe = exe_on(
+            2,
+            chains_in_trap0(2),
+            vec![Inst::Merge {
+                ion: IonId(0),
+                trap: TrapId(1),
+                side: Side::Left,
+            }],
+        );
+        assert_both_kernels_reject(&exe, SimError::IonNotInFlight(IonId(0)));
+    }
+
+    #[test]
+    fn ion_not_in_flight_when_moving_a_trapped_ion() {
+        let d = presets::l6(10);
+        let leg = d.route(TrapId(0), TrapId(1)).unwrap().legs()[0].clone();
+        let exe = exe_on(
+            1,
+            chains_in_trap0(1),
+            vec![Inst::Move { ion: IonId(0), leg }],
+        );
+        assert_both_kernels_reject(&exe, SimError::IonNotInFlight(IonId(0)));
     }
 }

@@ -5,9 +5,10 @@ use std::fmt;
 
 /// Errors raised while interpreting an executable.
 ///
-/// A well-formed executable produced by `qccd-compiler` for the same
-/// device never triggers these; they guard against mismatched
-/// device/executable pairs and hand-written executables.
+/// These guard against mismatched device/executable pairs, hand-written
+/// executables, and compiler bugs. `qccd-compiler` aims never to emit a
+/// stream that triggers them for the device it compiled against, but the
+/// simulator always re-checks rather than trusting that invariant.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SimError {
     /// An instruction referenced a trap the device does not have.

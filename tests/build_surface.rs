@@ -92,7 +92,7 @@ fn target_inventory_is_complete() {
             "qccd-bench binary `{bin}` missing from cargo metadata"
         );
     }
-    for bench in ["toolflow", "compiler", "figures", "engine"] {
+    for bench in ["toolflow", "compiler", "figures", "engine", "des_kernel"] {
         let needle = format!("benches/{bench}.rs");
         assert!(
             metadata.contains(&needle),

@@ -1,0 +1,313 @@
+//! Differential pinning of the two simulation kernels.
+//!
+//! The discrete-event kernel (`qccd_sim::des`) must produce
+//! [`SimReport`]s **field-for-field identical** to the legacy
+//! ready-time scan — same values, same bits — for every executable the
+//! compiler can emit. This suite drives both kernels over:
+//!
+//! * every golden artifact spec (the committed
+//!   `examples/experiments/*.json` presets, at the quick capacities the
+//!   goldens pin), end to end through the experiment engine;
+//! * the full satellite matrix: (preset device × generator circuit ×
+//!   all 16 policy-pipeline combinations);
+//! * proptest-driven random circuits, where an interval-recording
+//!   [`EventHook`] additionally proves the event kernel never
+//!   double-books a segment or junction;
+//! * the event queue itself: popping order is the `(time, seq)` total
+//!   order under arbitrary interleaved pushes.
+//!
+//! Reports are compared by their canonical JSON serialization (every
+//! float rendered through [`qccd_sim::canonical_float`]'s
+//! `serde_json` shortest-round-trip form), so the comparison is exactly
+//! as strict as the committed goldens.
+
+use proptest::prelude::*;
+use qccd::engine::{run_spec, Engine, EngineOptions, ExperimentSpec, SpecRun};
+use qccd::experiments::QUICK_CAPACITIES;
+use qccd::sweep::policy_grid;
+use qccd_circuit::generators;
+use qccd_compiler::{compile, CompilerConfig, Inst};
+use qccd_device::presets;
+use qccd_physics::PhysicalModel;
+use qccd_sim::{
+    simulate, simulate_des, simulate_des_with_hook, Event, EventHook, EventKind, EventQueue,
+    SimKernel, SimReport,
+};
+
+/// The two reports must agree field for field, bit for bit.
+fn assert_reports_identical(legacy: &SimReport, des: &SimReport, cell: &str) {
+    assert_eq!(legacy, des, "kernels diverged on {cell}");
+    assert_eq!(
+        serde_json::to_string_pretty(legacy).unwrap(),
+        serde_json::to_string_pretty(des).unwrap(),
+        "kernels bit-diverged on {cell}"
+    );
+}
+
+fn run_with_kernel(spec: &ExperimentSpec, kernel: SimKernel) -> SpecRun {
+    let engine = Engine::with_options(EngineOptions {
+        kernel,
+        ..EngineOptions::default()
+    });
+    run_spec(spec, &engine).unwrap_or_else(|e| panic!("{} ({kernel}): {e}", spec.name))
+}
+
+/// Every golden artifact spec — the committed
+/// `examples/experiments/*.json` presets — evaluated by both kernels,
+/// with every per-job [`SimReport`] and the projected artifact required
+/// identical. Figure specs run at the quick capacities, exactly like
+/// the committed goldens.
+#[test]
+fn golden_artifact_specs_agree_across_kernels() {
+    let base = CompilerConfig::default();
+    for spec in [
+        ExperimentSpec::table1(),
+        ExperimentSpec::table2(),
+        ExperimentSpec::fig6(&QUICK_CAPACITIES),
+        ExperimentSpec::fig7(&QUICK_CAPACITIES),
+        ExperimentSpec::fig8(&QUICK_CAPACITIES),
+        ExperimentSpec::ablation_buffer(&base),
+        ExperimentSpec::ablation_heating(&QUICK_CAPACITIES, &base),
+        ExperimentSpec::ablation_junction(&base),
+        ExperimentSpec::ablation_device_size(&base),
+        ExperimentSpec::ablation_policy(base.buffer_slots),
+    ] {
+        let legacy = run_with_kernel(&spec, SimKernel::Legacy);
+        let des = run_with_kernel(&spec, SimKernel::Des);
+
+        let l_jobs = legacy.results.job_outcomes();
+        let d_jobs = des.results.job_outcomes();
+        assert_eq!(l_jobs.len(), d_jobs.len(), "{}", spec.name);
+        for (j, (l, d)) in l_jobs.iter().zip(d_jobs).enumerate() {
+            let cell = format!("{} job {j}", spec.name);
+            match (l, d) {
+                (Ok(l), Ok(d)) => assert_reports_identical(l, d, &cell),
+                (l, d) => assert_eq!(l, d, "{cell}"),
+            }
+        }
+        // The projected artifact — the thing the paper goldens pin —
+        // must also serialize identically.
+        assert_eq!(
+            serde_json::to_string_pretty(&legacy.artifact).unwrap(),
+            serde_json::to_string_pretty(&des.artifact).unwrap(),
+            "{}: projected artifacts diverged",
+            spec.name
+        );
+    }
+}
+
+/// A spec pinning `"kernel": "des"` must evaluate to the same artifact
+/// as the engine-default legacy run: the spec-level switch changes the
+/// execution strategy, never the result.
+#[test]
+fn spec_pinned_kernel_matches_engine_default() {
+    let mut spec = ExperimentSpec::fig6(&[8]);
+    spec.circuits.truncate(2);
+    let legacy = run_spec(&spec, &Engine::new()).unwrap();
+    spec.kernel = Some(SimKernel::Des);
+    let des = run_spec(&spec, &Engine::new()).unwrap();
+    assert_eq!(
+        serde_json::to_string_pretty(&legacy.artifact).unwrap(),
+        serde_json::to_string_pretty(&des.artifact).unwrap()
+    );
+}
+
+/// The satellite matrix: every (preset device × generator circuit ×
+/// 16-policy-combination) cell compiled once and simulated by both
+/// kernels, reports required bit-identical.
+#[test]
+fn policy_matrix_agrees_across_kernels() {
+    let devices = [presets::l6(8), presets::g2x3(8)];
+    let circuits = [
+        generators::qaoa(18, 1, 3),
+        generators::bv(&[true; 15]),
+        generators::qft(14),
+        generators::random_circuit(20, 120, 0.5, 17),
+    ];
+    let model = PhysicalModel::default();
+    for device in &devices {
+        for circuit in &circuits {
+            for config in policy_grid(2) {
+                let cell = format!(
+                    "{} × {} × {}",
+                    device.name(),
+                    circuit.name(),
+                    config.policy_label()
+                );
+                let exe = compile(circuit, device, &config)
+                    .unwrap_or_else(|e| panic!("{cell}: compile failed: {e}"));
+                let legacy = simulate(&exe, device, &model)
+                    .unwrap_or_else(|e| panic!("{cell}: legacy failed: {e}"));
+                let des = simulate_des(&exe, device, &model)
+                    .unwrap_or_else(|e| panic!("{cell}: des failed: {e}"));
+                assert_reports_identical(&legacy, &des, &cell);
+            }
+        }
+    }
+}
+
+/// Records the occupancy interval of every shuttle leg, keyed by the
+/// instruction index, from the kernel's committed event stream.
+struct LegIntervals {
+    start: Vec<Option<f64>>,
+    intervals: Vec<Option<(f64, f64)>>,
+}
+
+impl LegIntervals {
+    fn new(len: usize) -> Self {
+        LegIntervals {
+            start: vec![None; len],
+            intervals: vec![None; len],
+        }
+    }
+}
+
+impl EventHook for LegIntervals {
+    fn on_event(&mut self, event: &Event) {
+        match event.kind {
+            EventKind::ShuttleLegStart { inst } => {
+                assert!(self.start[inst].is_none(), "leg {inst} started twice");
+                self.start[inst] = Some(event.time);
+            }
+            EventKind::ShuttleLegFinish { inst } => {
+                let start = self.start[inst].expect("finish before start");
+                assert!(self.intervals[inst].is_none(), "leg {inst} finished twice");
+                self.intervals[inst] = Some((start, event.time));
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Simulates with the DES kernel and asserts that no segment and no
+/// junction is ever held by two overlapping shuttle legs — the resource
+/// timelines never double-book a path element.
+fn assert_no_double_booking(circuit: &qccd_circuit::Circuit, device: &qccd_device::Device) {
+    let exe = compile(circuit, device, &CompilerConfig::default()).expect("compiles");
+    let mut hook = LegIntervals::new(exe.len());
+    simulate_des_with_hook(&exe, device, &PhysicalModel::default(), &mut hook).expect("simulates");
+
+    // (resource kind, resource index) -> sorted occupancy intervals.
+    let mut per_resource: std::collections::HashMap<(u8, u32), Vec<(f64, f64)>> =
+        std::collections::HashMap::new();
+    for (i, inst) in exe.instructions().iter().enumerate() {
+        let Inst::Move { leg, .. } = inst else {
+            continue;
+        };
+        let (start, end) = hook.intervals[i].expect("every leg completed");
+        assert!(start <= end, "leg {i} has a negative duration");
+        for s in &leg.segments {
+            per_resource.entry((0, s.0)).or_default().push((start, end));
+        }
+        for j in &leg.junctions {
+            per_resource.entry((1, j.0)).or_default().push((start, end));
+        }
+    }
+    for ((kind, idx), mut spans) in per_resource {
+        spans.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for w in spans.windows(2) {
+            assert!(
+                w[0].1 <= w[1].0 + 1e-12,
+                "{} {idx} double-booked: [{}, {}) overlaps [{}, {})",
+                if kind == 0 { "segment" } else { "junction" },
+                w[0].0,
+                w[0].1,
+                w[1].0,
+                w[1].1
+            );
+        }
+    }
+}
+
+/// Deterministic xorshift so the queue property draws arbitrary float
+/// times (including exact ties) without a `rand` dev-dependency.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Popping order is the (time, seq) total order under arbitrary
+    /// interleaved pushes: nondecreasing times, and FIFO (ascending
+    /// sequence) within every tie.
+    #[test]
+    fn event_queue_pops_the_time_seq_total_order(
+        len in 0usize..200,
+        seed in 1u64..10_000,
+        tie_every in 1u64..8,
+    ) {
+        let mut state = seed;
+        let mut queue = EventQueue::new();
+        let mut pushed = Vec::with_capacity(len);
+        for i in 0..len {
+            // Coarse-quantized times force plenty of exact ties.
+            let time = (xorshift(&mut state) % (tie_every * 8)) as f64 / tie_every as f64;
+            let seq = queue.push(time, EventKind::GateStart { inst: i });
+            pushed.push((time, seq));
+        }
+        // Sequence numbers are unique and monotone in push order.
+        for w in pushed.windows(2) {
+            prop_assert!(w[0].1 < w[1].1);
+        }
+        let mut popped = Vec::with_capacity(len);
+        while let Some(event) = queue.pop() {
+            popped.push((event.time, event.seq));
+        }
+        prop_assert_eq!(popped.len(), len);
+        for w in popped.windows(2) {
+            prop_assert!(
+                w[0].0 < w[1].0 || (w[0].0 == w[1].0 && w[0].1 < w[1].1),
+                "pop order violated: {:?} then {:?}", w[0], w[1]
+            );
+        }
+        // Exactly the pushed (time, seq) pairs come back out.
+        let mut expected = pushed;
+        expected.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        prop_assert_eq!(popped, expected);
+    }
+
+    /// Random circuits on the linear topology: both kernels bit-agree,
+    /// and the DES kernel's resource timelines never double-book a
+    /// segment or junction.
+    #[test]
+    fn random_linear_circuits_agree_and_never_double_book(
+        n in 2u32..24,
+        ops in 1usize..150,
+        frac in 0.0f64..0.8,
+        seed in 0u64..1000,
+        combo in 0usize..16,
+    ) {
+        let circuit = generators::random_circuit(n, ops, frac, seed);
+        let device = presets::l6(8);
+        let exe = compile(&circuit, &device, &policy_grid(2)[combo]).expect("compiles");
+        let model = PhysicalModel::default();
+        let legacy = simulate(&exe, &device, &model).expect("legacy simulates");
+        let des = simulate_des(&exe, &device, &model).expect("des simulates");
+        assert_reports_identical(&legacy, &des, circuit.name());
+        assert_no_double_booking(&circuit, &device);
+    }
+
+    /// The same property on the grid topology, whose junction-crossing
+    /// legs exercise the junction timelines.
+    #[test]
+    fn random_grid_circuits_agree_and_never_double_book(
+        n in 2u32..24,
+        ops in 1usize..120,
+        seed in 0u64..1000,
+    ) {
+        let circuit = generators::random_circuit(n, ops, 0.5, seed);
+        let device = presets::g2x3(8);
+        let exe = compile(&circuit, &device, &CompilerConfig::default()).expect("compiles");
+        let model = PhysicalModel::default();
+        let legacy = simulate(&exe, &device, &model).expect("legacy simulates");
+        let des = simulate_des(&exe, &device, &model).expect("des simulates");
+        assert_reports_identical(&legacy, &des, circuit.name());
+        assert_no_double_booking(&circuit, &device);
+    }
+}
