@@ -6,7 +6,7 @@
 //! logical-depth statistic of Table II's benchmarks.
 
 use crate::circuit::Circuit;
-use std::collections::VecDeque;
+use fixedbitset::FixedBitSet;
 
 /// Dependency DAG of a [`Circuit`]: nodes are operation indices, edges point
 /// from an operation to the operations that must wait for it.
@@ -117,11 +117,20 @@ impl DependencyDag {
     /// Creates a ready-set tracker for list scheduling.
     pub fn ready_tracker(&self) -> ReadyTracker<'_> {
         let remaining: Vec<usize> = (0..self.len()).map(|i| self.preds[i].len()).collect();
-        let ready: VecDeque<usize> = self.roots().into();
+        let mut ready = FixedBitSet::with_capacity(self.len());
+        let mut ready_count = 0;
+        for i in 0..self.len() {
+            if self.preds[i].is_empty() {
+                ready.insert(i);
+                ready_count += 1;
+            }
+        }
         ReadyTracker {
             dag: self,
             remaining,
             ready,
+            ready_count,
+            scan_from: 0,
             completed: 0,
         }
     }
@@ -132,34 +141,43 @@ impl DependencyDag {
 /// The compiler repeatedly takes the earliest ready operation (smallest
 /// program index among ready nodes — the paper's *earliest ready gate first*
 /// heuristic) and marks it complete, releasing its successors.
+///
+/// The ready set is a bitset over operation indices plus a forward-only
+/// scan cursor. The cursor is sound because the popped minimum is
+/// monotone non-decreasing under the pop/complete protocol: completing
+/// operation `i` can only release successors, and every successor has a
+/// larger program index than `i`, so nothing below the last popped index
+/// ever becomes ready again.
 #[derive(Debug, Clone)]
 pub struct ReadyTracker<'a> {
     dag: &'a DependencyDag,
     remaining: Vec<usize>,
-    ready: VecDeque<usize>,
+    ready: FixedBitSet,
+    ready_count: usize,
+    /// Lower bound for the next minimum-bit scan.
+    scan_from: usize,
     completed: usize,
 }
 
 impl<'a> ReadyTracker<'a> {
     /// Operations currently ready, in ascending program order.
     pub fn ready(&self) -> Vec<usize> {
-        let mut v: Vec<usize> = self.ready.iter().copied().collect();
-        v.sort_unstable();
-        v
+        self.ready.ones().collect()
     }
 
     /// Pops the earliest (smallest-index) ready operation, if any.
     pub fn pop_earliest(&mut self) -> Option<usize> {
-        if self.ready.is_empty() {
+        if self.ready_count == 0 {
             return None;
         }
-        let (pos, _) = self
+        let i = self
             .ready
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, &v)| v)
-            .expect("non-empty ready set");
-        self.ready.remove(pos)
+            .min_one_from(self.scan_from)
+            .expect("ready_count tracks set bits at or above the cursor");
+        self.ready.remove(i);
+        self.ready_count -= 1;
+        self.scan_from = i;
+        Some(i)
     }
 
     /// Marks operation `i` complete, releasing successors whose
@@ -176,7 +194,12 @@ impl<'a> ReadyTracker<'a> {
         for &s in self.dag.successors(i) {
             self.remaining[s] -= 1;
             if self.remaining[s] == 0 {
-                self.ready.push_back(s);
+                self.ready.insert(s);
+                self.ready_count += 1;
+                // Successors always sit above `i` in program order, so the
+                // cursor stays valid; lower it defensively in case a caller
+                // completes out of pop order (public API).
+                self.scan_from = self.scan_from.min(s);
             }
         }
     }

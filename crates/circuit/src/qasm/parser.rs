@@ -3,7 +3,6 @@
 use super::lexer::{tokenize, Token, TokenKind};
 use crate::circuit::{Circuit, Operation, Qubit};
 use crate::gate::{OneQubitGate, TwoQubitGate};
-use std::collections::HashMap;
 use std::fmt;
 
 /// Error produced while parsing OpenQASM source.
@@ -51,6 +50,45 @@ struct Register {
     size: u32,
 }
 
+/// Insertion-ordered register table.
+///
+/// QASM files declare a handful of registers, so a flat `Vec` beats a
+/// hash map on lookup — and, unlike a hash map, it iterates in
+/// declaration order, making every duplicate-register and lookup error
+/// (and the creg base computation) deterministic by construction.
+#[derive(Debug, Default)]
+struct RegisterTable {
+    entries: Vec<(String, Register)>,
+}
+
+impl RegisterTable {
+    fn new() -> Self {
+        RegisterTable::default()
+    }
+
+    fn get(&self, name: &str) -> Option<&Register> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, r)| r)
+    }
+
+    fn contains_key(&self, name: &str) -> bool {
+        self.get(name).is_some()
+    }
+
+    /// Inserts `reg` under `name`, replacing any existing entry in
+    /// place (its declaration-order slot is kept).
+    fn insert(&mut self, name: String, reg: Register) {
+        match self.entries.iter_mut().find(|(n, _)| *n == name) {
+            Some(entry) => entry.1 = reg,
+            None => self.entries.push((name, reg)),
+        }
+    }
+
+    /// Registers in declaration order.
+    fn values(&self) -> impl Iterator<Item = &Register> {
+        self.entries.iter().map(|(_, r)| r)
+    }
+}
+
 struct Parser {
     tokens: Vec<Token>,
     pos: usize,
@@ -58,8 +96,8 @@ struct Parser {
     /// unexpected-EOF errors are reported here, not at the last token
     /// (which may sit many lines earlier in a truncated file).
     final_line: u32,
-    qregs: HashMap<String, Register>,
-    cregs: HashMap<String, Register>,
+    qregs: RegisterTable,
+    cregs: RegisterTable,
     num_qubits: u32,
 }
 
@@ -100,8 +138,8 @@ pub fn parse(src: &str) -> Result<Circuit, QasmError> {
         tokens,
         pos: 0,
         final_line,
-        qregs: HashMap::new(),
-        cregs: HashMap::new(),
+        qregs: RegisterTable::new(),
+        cregs: RegisterTable::new(),
         num_qubits: 0,
     };
     parser.program()
@@ -693,5 +731,31 @@ mod tests {
     fn two_qubit_broadcast_pairs_elementwise() {
         let c = parse_body("qreg a[3]; qreg b[3]; cx a, b;").unwrap();
         assert_eq!(c.two_qubit_gate_count(), 3);
+    }
+
+    #[test]
+    fn duplicate_qreg_error_is_deterministic() {
+        // The register table iterates in declaration order, so the same
+        // source must produce byte-identical errors on every parse.
+        let src = "qreg a[2]; qreg b[2]; qreg a[3]; h a[0];";
+        let first = parse_body(src).unwrap_err();
+        assert_eq!(first.message(), "duplicate qreg `a`");
+        for _ in 0..10 {
+            assert_eq!(parse_body(src).unwrap_err(), first);
+        }
+    }
+
+    #[test]
+    fn creg_bases_follow_declaration_order() {
+        // A redeclared creg replaces the earlier entry; later bases
+        // build on the declaration-ordered maximum, so measure targets
+        // stay valid deterministically.
+        let c = parse_body(
+            "qreg q[4]; creg c[2]; creg d[2]; creg c[4]; measure q[0] -> c[3]; measure q[1] -> d[1];",
+        )
+        .unwrap();
+        assert_eq!(c.measure_count(), 2);
+        let err = parse_body("qreg q[2]; creg c[2]; measure q[0] -> c[2];").unwrap_err();
+        assert!(err.message().contains("out of range"), "{err}");
     }
 }

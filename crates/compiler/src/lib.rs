@@ -73,6 +73,6 @@ pub use config::{
 pub use error::CompileError;
 pub use executable::{Executable, Inst, OpCounts};
 pub use mapping::{initial_map, Placement};
-pub use passes::{Pipeline, UsesTable};
+pub use passes::{Pipeline, TrapBusyMap, UsesTable};
 pub use policy::{EvictionPolicy, MappingPolicy, ReorderPolicy, RoutingPolicy};
 pub use state::MachineState;

@@ -29,8 +29,50 @@ use crate::policy::{
     RoutingPolicy,
 };
 use crate::state::MachineState;
+use fixedbitset::FixedBitSet;
 use qccd_circuit::{Circuit, DependencyDag, Operation};
 use qccd_device::{Device, RouteCache, TrapId};
+
+/// Per-trap occupancy busy-map: one bit per trap, set while the trap's
+/// chain is at capacity.
+///
+/// The scheduling loop asks "is the destination full?" once per shuttle
+/// leg; this answers from a bitset updated incrementally at the two
+/// chain-length-change sites (split and merge) instead of recomputing
+/// `capacity - chain_len` from the state. Pinned against the naive
+/// recomputation by a proptest.
+#[derive(Debug, Clone)]
+pub struct TrapBusyMap {
+    full: FixedBitSet,
+    capacity: Vec<u32>,
+}
+
+impl TrapBusyMap {
+    /// Builds the busy-map from the current state of every trap.
+    pub fn new(device: &Device, st: &MachineState) -> Self {
+        let mut full = FixedBitSet::with_capacity(device.trap_count());
+        let mut capacity = Vec::with_capacity(device.trap_count());
+        for t in device.trap_ids() {
+            capacity.push(device.trap(t).capacity());
+            full.set(
+                t.index(),
+                st.chain_len(t) >= device.trap(t).capacity() as usize,
+            );
+        }
+        TrapBusyMap { full, capacity }
+    }
+
+    /// `true` while `trap` has no free slot.
+    pub fn is_full(&self, trap: TrapId) -> bool {
+        self.full.contains(trap.index())
+    }
+
+    /// Re-derives `trap`'s bit after its chain length changed to `len`.
+    pub fn update(&mut self, trap: TrapId, len: usize) {
+        self.full
+            .set(trap.index(), len >= self.capacity[trap.index()] as usize);
+    }
+}
 
 /// Per-qubit sorted lists of the operation indices that use it, for
 /// next-use lookups ("full knowledge of the program instructions", §VI).
@@ -163,6 +205,8 @@ impl Pipeline {
     pub fn compile(&self, circuit: &Circuit, device: &Device) -> Result<Executable, CompileError> {
         circuit.validate()?;
         let placement = self.mapping.place(circuit, device, self.buffer_slots)?;
+        let st = MachineState::new(&placement);
+        let busy = TrapBusyMap::new(device, &st);
         let mut ctx = Ctx {
             device,
             routes: RouteCache::new(device),
@@ -170,7 +214,8 @@ impl Pipeline {
             routing: &*self.routing,
             reorder: &*self.reorder,
             eviction: &*self.eviction,
-            st: MachineState::new(&placement),
+            st,
+            busy,
             out: Vec::new(),
             uses: UsesTable::new(circuit),
             current_op: 0,
@@ -220,16 +265,13 @@ struct Ctx<'a> {
     reorder: &'a dyn ReorderPolicy,
     eviction: &'a dyn EvictionPolicy,
     st: MachineState,
+    busy: TrapBusyMap,
     out: Vec<Inst>,
     uses: UsesTable,
     current_op: usize,
 }
 
 impl Ctx<'_> {
-    fn free_slots(&self, trap: TrapId) -> usize {
-        (self.device.trap(trap).capacity() as usize).saturating_sub(self.st.chain_len(trap))
-    }
-
     fn two_qubit_gate(
         &mut self,
         gate: qccd_circuit::TwoQubitGate,
@@ -281,7 +323,7 @@ impl Ctx<'_> {
                 dest,
             ))?;
             let leg = route.legs()[0].clone();
-            if leg.to == dest && self.free_slots(dest) == 0 {
+            if leg.to == dest && self.busy.is_full(dest) {
                 let pick = self.eviction.pick(&EvictionQuery::new(
                     self.device,
                     &self.routes,
@@ -306,6 +348,7 @@ impl Ctx<'_> {
                 side: leg.exit_side,
             });
             self.st.remove_end(ion, src, leg.exit_side);
+            self.busy.update(src, self.st.chain_len(src));
             self.out.push(Inst::Move {
                 ion,
                 leg: leg.clone(),
@@ -316,6 +359,7 @@ impl Ctx<'_> {
                 side: leg.entry_side,
             });
             self.st.insert_end(ion, leg.to, leg.entry_side);
+            self.busy.update(leg.to, self.st.chain_len(leg.to));
             self.congestion.commit(&leg);
         }
     }

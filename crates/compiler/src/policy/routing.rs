@@ -4,7 +4,6 @@
 use super::RoutingPolicy;
 use crate::error::CompileError;
 use qccd_device::{Device, JunctionId, Leg, Route, RouteCache, SegmentId, TrapId};
-use std::collections::VecDeque;
 
 /// What a routing policy can see when choosing the next route.
 #[derive(Debug)]
@@ -61,6 +60,16 @@ impl<'a> RouteQuery<'a> {
     }
 }
 
+/// The resource claims of one committed leg, held in a reused ring
+/// slot. The id vectors keep their allocations across reuse (clear +
+/// extend), so a warm `Congestion` window commits legs with zero
+/// allocation.
+#[derive(Debug, Clone, Default)]
+struct ClaimSlot {
+    segments: Vec<SegmentId>,
+    junctions: Vec<JunctionId>,
+}
+
 /// Sliding-window tally of the segments and junctions claimed by the
 /// most recently committed route legs.
 ///
@@ -68,10 +77,19 @@ impl<'a> RouteQuery<'a> {
 /// the last [`Congestion::DEFAULT_HORIZON`] committed legs — the moves
 /// the simulator's resource timeline will be draining when the next
 /// shuttle launches. Deterministic by construction.
+///
+/// Internally a fixed ring of `horizon` reused claim slots plus
+/// per-segment/per-junction load counters updated incrementally: a
+/// commit bumps the new leg's counters, retires the slot it overwrites,
+/// and never clones the `Leg` or reallocates once the ring is warm.
 #[derive(Debug, Clone)]
 pub struct Congestion {
-    horizon: usize,
-    window: VecDeque<Leg>,
+    /// Ring of the last `horizon` committed legs' claims.
+    ring: Vec<ClaimSlot>,
+    /// Ring slot the *next* commit writes (oldest live slot once full).
+    head: usize,
+    /// Live slots, `0..=ring.len()`.
+    len: usize,
     segment_load: Vec<u32>,
     junction_load: Vec<u32>,
 }
@@ -88,8 +106,9 @@ impl Congestion {
     /// Empty tracker with an explicit window size.
     pub fn with_horizon(device: &Device, horizon: usize) -> Self {
         Congestion {
-            horizon: horizon.max(1),
-            window: VecDeque::new(),
+            ring: vec![ClaimSlot::default(); horizon.max(1)],
+            head: 0,
+            len: 0,
             segment_load: vec![0; device.segment_count()],
             junction_load: vec![0; device.junction_count()],
         }
@@ -104,16 +123,24 @@ impl Congestion {
         for &j in &leg.junctions {
             self.junction_load[j.index()] += 1;
         }
-        self.window.push_back(leg.clone());
-        if self.window.len() > self.horizon {
-            let old = self.window.pop_front().expect("window is non-empty");
-            for s in &old.segments {
+        let full = self.len == self.ring.len();
+        let slot = &mut self.ring[self.head];
+        if full {
+            // Full window: the slot being overwritten is the oldest leg.
+            for s in &slot.segments {
                 self.segment_load[s.index()] -= 1;
             }
-            for j in &old.junctions {
+            for j in &slot.junctions {
                 self.junction_load[j.index()] -= 1;
             }
+        } else {
+            self.len += 1;
         }
+        slot.segments.clear();
+        slot.segments.extend_from_slice(&leg.segments);
+        slot.junctions.clear();
+        slot.junctions.extend_from_slice(&leg.junctions);
+        self.head = (self.head + 1) % self.ring.len();
     }
 
     /// In-flight legs currently claiming `segment`.
@@ -128,7 +155,7 @@ impl Congestion {
 
     /// Number of legs in the window.
     pub fn in_flight(&self) -> usize {
-        self.window.len()
+        self.len
     }
 }
 

@@ -12,12 +12,20 @@ use qccd_device::{IonId, Side, TrapId};
 /// Sentinel for "this ion carries no program qubit".
 pub const NO_QUBIT: u32 = u32::MAX;
 
+/// Sentinel position for an in-flight ion (no chain index).
+const IN_FLIGHT: u32 = u32::MAX;
+
 /// Mutable placement state of every ion.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MachineState {
     chains: Vec<Vec<IonId>>,
     /// Per ion: current trap, or `None` while in flight.
     location: Vec<Option<TrapId>>,
+    /// Per ion: index within its chain (`IN_FLIGHT` while in flight).
+    /// Inverse of `chains` so [`MachineState::position`] and
+    /// [`MachineState::distance`] are O(1) instead of scanning the chain
+    /// — they sit on the scheduler's per-gate hot path.
+    pos: Vec<u32>,
     /// Per ion: program qubit whose state it carries (`NO_QUBIT` if none).
     qubit_of_ion: Vec<u32>,
     /// Per program qubit: the ion carrying its state.
@@ -30,14 +38,17 @@ impl MachineState {
     pub fn new(placement: &Placement) -> Self {
         let num_ions = placement.num_ions();
         let mut location = vec![None; num_ions as usize];
+        let mut pos = vec![IN_FLIGHT; num_ions as usize];
         for (t, chain) in placement.chains().iter().enumerate() {
-            for &ion in chain {
+            for (p, &ion) in chain.iter().enumerate() {
                 location[ion.index()] = Some(TrapId(t as u32));
+                pos[ion.index()] = p as u32;
             }
         }
         MachineState {
             chains: placement.chains().to_vec(),
             location,
+            pos,
             qubit_of_ion: (0..num_ions).collect(),
             ion_of_qubit: (0..num_ions).map(IonId).collect(),
         }
@@ -88,10 +99,13 @@ impl MachineState {
     /// Panics if the ion is in flight.
     pub fn position(&self, ion: IonId) -> usize {
         let trap = self.location[ion.index()].expect("ion is in flight");
-        self.chains[trap.index()]
-            .iter()
-            .position(|&i| i == ion)
-            .expect("location table is consistent with chains")
+        let p = self.pos[ion.index()] as usize;
+        debug_assert_eq!(
+            self.chains[trap.index()].get(p),
+            Some(&ion),
+            "position index is consistent with chains"
+        );
+        p
     }
 
     /// The ion at the `side` end of `trap`'s chain, if non-empty.
@@ -150,6 +164,7 @@ impl MachineState {
         let pb = self.position(b);
         assert_eq!(pa.abs_diff(pb), 1, "{a} and {b} are not adjacent");
         self.chains[trap.index()].swap(pa, pb);
+        self.pos.swap(a.index(), b.index());
     }
 
     /// Removes the end ion `ion` from `trap` at `side` (split). The ion is
@@ -167,12 +182,17 @@ impl MachineState {
         match side {
             Side::Left => {
                 self.chains[trap.index()].remove(0);
+                // Everyone left in the chain shifts one slot left.
+                for &i in &self.chains[trap.index()] {
+                    self.pos[i.index()] -= 1;
+                }
             }
             Side::Right => {
                 self.chains[trap.index()].pop();
             }
         }
         self.location[ion.index()] = None;
+        self.pos[ion.index()] = IN_FLIGHT;
     }
 
     /// Inserts an in-flight ion into `trap` at `side` (merge).
@@ -186,8 +206,18 @@ impl MachineState {
             "{ion} is not in flight"
         );
         match side {
-            Side::Left => self.chains[trap.index()].insert(0, ion),
-            Side::Right => self.chains[trap.index()].push(ion),
+            Side::Left => {
+                // Everyone already in the chain shifts one slot right.
+                for &i in &self.chains[trap.index()] {
+                    self.pos[i.index()] += 1;
+                }
+                self.chains[trap.index()].insert(0, ion);
+                self.pos[ion.index()] = 0;
+            }
+            Side::Right => {
+                self.pos[ion.index()] = self.chains[trap.index()].len() as u32;
+                self.chains[trap.index()].push(ion);
+            }
         }
         self.location[ion.index()] = Some(trap);
     }

@@ -1,0 +1,204 @@
+//! Randomized property pins for the flat-data-layout scheduler state.
+//!
+//! Two incremental structures ride the scheduling hot path and must
+//! stay consistent with the ground truth they summarize:
+//!
+//! - [`MachineState`]'s position index (the inverse of its chains) under
+//!   arbitrary interleavings of `swap_positions` / `remove_end` /
+//!   `insert_end`;
+//! - [`TrapBusyMap`]'s one-bit-per-trap occupancy under the same
+//!   split/merge traffic, against naive `chain_len >= capacity`
+//!   recomputation.
+//!
+//! Each proptest case draws a seed for a deterministic xorshift walk,
+//! so failures replay.
+
+use proptest::prelude::*;
+use qccd_compiler::{MachineState, Placement, TrapBusyMap};
+use qccd_device::{presets, IonId, Side, TrapId};
+
+/// Deterministic xorshift64 — cheap op-sequence driver.
+fn xorshift(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+fn pick(state: &mut u64, n: usize) -> usize {
+    (xorshift(&mut *state) % n as u64) as usize
+}
+
+fn side(state: &mut u64) -> Side {
+    if pick(state, 2) == 0 {
+        Side::Left
+    } else {
+        Side::Right
+    }
+}
+
+/// Naive mirror of the chain layout: the ground truth the index
+/// summarizes.
+struct Mirror {
+    chains: Vec<Vec<IonId>>,
+}
+
+impl Mirror {
+    fn check(&self, st: &MachineState) {
+        let mut seen = 0;
+        for (t, chain) in self.chains.iter().enumerate() {
+            let trap = TrapId(t as u32);
+            assert_eq!(st.chain(trap), chain.as_slice(), "chain of {trap}");
+            assert_eq!(st.chain_len(trap), chain.len());
+            for (p, &ion) in chain.iter().enumerate() {
+                assert_eq!(st.trap_of(ion), Some(trap), "trap of {ion}");
+                assert_eq!(st.position(ion), p, "position of {ion}");
+                seen += 1;
+            }
+        }
+        for i in 0..st.num_ions() {
+            if st.trap_of(IonId(i)).is_none() {
+                seen += 1;
+            }
+        }
+        assert_eq!(seen, st.num_ions(), "every ion is in a chain or in flight");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The O(1) position index stays the exact inverse of the chains
+    /// under any interleaving of the three mutating chain operations.
+    #[test]
+    fn position_index_stays_consistent_with_chains(seed in 0u64..u64::MAX) {
+        // 4 traps, 12 ions, uneven initial chains.
+        let chains = vec![
+            vec![IonId(0), IonId(1), IonId(2), IonId(3), IonId(4)],
+            vec![IonId(5), IonId(6)],
+            vec![IonId(7), IonId(8), IonId(9), IonId(10)],
+            vec![IonId(11)],
+        ];
+        let mut st = MachineState::new(&Placement::from_chains(chains.clone()));
+        let mut mirror = Mirror { chains };
+        let mut in_flight: Vec<IonId> = Vec::new();
+        let mut rng = seed | 1; // xorshift state must be nonzero
+
+        for _step in 0..400 {
+            match pick(&mut rng, 3) {
+                // Swap an adjacent pair somewhere.
+                0 => {
+                    let candidates: Vec<usize> = (0..mirror.chains.len())
+                        .filter(|&t| mirror.chains[t].len() >= 2)
+                        .collect();
+                    if candidates.is_empty() {
+                        continue;
+                    }
+                    let t = candidates[pick(&mut rng, candidates.len())];
+                    let p = pick(&mut rng, mirror.chains[t].len() - 1);
+                    let (a, b) = (mirror.chains[t][p], mirror.chains[t][p + 1]);
+                    st.swap_positions(a, b);
+                    mirror.chains[t].swap(p, p + 1);
+                }
+                // Split an end ion off a non-empty chain.
+                1 => {
+                    let candidates: Vec<usize> = (0..mirror.chains.len())
+                        .filter(|&t| !mirror.chains[t].is_empty())
+                        .collect();
+                    if candidates.is_empty() {
+                        continue;
+                    }
+                    let t = candidates[pick(&mut rng, candidates.len())];
+                    let s = side(&mut rng);
+                    let ion = match s {
+                        Side::Left => mirror.chains[t].remove(0),
+                        Side::Right => mirror.chains[t].pop().unwrap(),
+                    };
+                    st.remove_end(ion, TrapId(t as u32), s);
+                    in_flight.push(ion);
+                }
+                // Merge an in-flight ion into any chain.
+                _ => {
+                    if in_flight.is_empty() {
+                        continue;
+                    }
+                    let ion = in_flight.swap_remove(pick(&mut rng, in_flight.len()));
+                    let t = pick(&mut rng, mirror.chains.len());
+                    let s = side(&mut rng);
+                    st.insert_end(ion, TrapId(t as u32), s);
+                    match s {
+                        Side::Left => mirror.chains[t].insert(0, ion),
+                        Side::Right => mirror.chains[t].push(ion),
+                    }
+                }
+            }
+            mirror.check(&st);
+        }
+    }
+
+    /// The one-bit-per-trap busy map, updated only at the two
+    /// chain-length-change sites, agrees with recomputing
+    /// `chain_len >= capacity` from scratch at every trap after every
+    /// operation.
+    #[test]
+    fn trap_busy_map_agrees_with_naive_recomputation(seed in 0u64..u64::MAX) {
+        let device = presets::l6(4);
+        // Start every trap two below capacity so both directions of the
+        // full/free transition get exercised.
+        let mut chains: Vec<Vec<IonId>> = Vec::new();
+        let mut next = 0u32;
+        for t in device.trap_ids() {
+            let cap = device.trap(t).capacity() as usize;
+            chains.push(
+                (0..cap - 2)
+                    .map(|_| {
+                        next += 1;
+                        IonId(next - 1)
+                    })
+                    .collect(),
+            );
+        }
+        let mut st = MachineState::new(&Placement::from_chains(chains));
+        let mut busy = TrapBusyMap::new(&device, &st);
+        let mut in_flight: Vec<IonId> = Vec::new();
+        let mut rng = seed | 1;
+
+        for _step in 0..600 {
+            if pick(&mut rng, 2) == 0 && !in_flight.is_empty() {
+                // Merge, as the shuttle loop does: only into a trap with
+                // a free slot.
+                let open: Vec<TrapId> =
+                    device.trap_ids().filter(|&t| !busy.is_full(t)).collect();
+                if open.is_empty() {
+                    continue;
+                }
+                let t = open[pick(&mut rng, open.len())];
+                let ion = in_flight.swap_remove(pick(&mut rng, in_flight.len()));
+                st.insert_end(ion, t, side(&mut rng));
+                busy.update(t, st.chain_len(t));
+            } else {
+                let occupied: Vec<TrapId> = device
+                    .trap_ids()
+                    .filter(|&t| st.chain_len(t) > 0)
+                    .collect();
+                if occupied.is_empty() {
+                    continue;
+                }
+                let t = occupied[pick(&mut rng, occupied.len())];
+                let s = side(&mut rng);
+                let ion = st.end_ion(t, s).unwrap();
+                st.remove_end(ion, t, s);
+                busy.update(t, st.chain_len(t));
+                in_flight.push(ion);
+            }
+            // The bitset must match the naive recomputation everywhere,
+            // not just at the touched trap.
+            for t in device.trap_ids() {
+                let naive = st.chain_len(t) >= device.trap(t).capacity() as usize;
+                prop_assert_eq!(busy.is_full(t), naive, "busy bit of {}", t);
+            }
+        }
+    }
+}

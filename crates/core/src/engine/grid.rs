@@ -16,7 +16,6 @@ use qccd_compiler::CompilerConfig;
 use qccd_device::Device;
 use qccd_physics::PhysicalModel;
 use qccd_sim::{SimKernel, SimReport};
-use std::collections::HashMap;
 use std::fmt;
 
 /// Version salt folded into every job id; bump when the executable or
@@ -146,7 +145,10 @@ impl JobGrid {
             .collect();
 
         let mut jobs: Vec<Job> = Vec::new();
-        let mut by_id: HashMap<String, usize> = HashMap::new();
+        // Sorted (id, job index) pairs: a binary-searched Vec instead of
+        // a hash map, so dedup behavior is deterministic by construction
+        // (no hasher state) and iteration order questions cannot arise.
+        let mut by_id: Vec<(String, usize)> = Vec::new();
         let mut cells =
             Vec::with_capacity(circuits.len() * devices.len() * configs.len() * models.len());
         for (ci, circuit) in circuits.iter().enumerate() {
@@ -164,16 +166,21 @@ impl JobGrid {
                             device.max_trap_capacity()
                         );
                         let id = JobId::new(&label, fnv1a(content.as_bytes()));
-                        let job_index = *by_id.entry(id.as_str().to_owned()).or_insert_with(|| {
-                            jobs.push(Job {
-                                circuit: ci,
-                                device: di,
-                                config: cfgi,
-                                model: mi,
-                                id: id.clone(),
-                            });
-                            jobs.len() - 1
-                        });
+                        let job_index =
+                            match by_id.binary_search_by(|(s, _)| s.as_str().cmp(id.as_str())) {
+                                Ok(p) => by_id[p].1,
+                                Err(p) => {
+                                    jobs.push(Job {
+                                        circuit: ci,
+                                        device: di,
+                                        config: cfgi,
+                                        model: mi,
+                                        id: id.clone(),
+                                    });
+                                    by_id.insert(p, (id.as_str().to_owned(), jobs.len() - 1));
+                                    jobs.len() - 1
+                                }
+                            };
                         cells.push(job_index);
                     }
                 }

@@ -60,7 +60,6 @@ pub use spec::{
 use crate::experiments::{ablations, fig6, fig7, fig8, table1, table2, Table};
 use crate::sweep::parallel_map;
 use crate::toolflow::Toolflow;
-use std::collections::HashMap;
 use std::fmt;
 use std::path::PathBuf;
 use std::str::FromStr;
@@ -321,19 +320,15 @@ impl Engine {
             // Group jobs that share (circuit, device, config): the
             // executable is model-independent, so each group compiles
             // once and simulates once per member.
-            let mut order: Vec<(usize, Vec<usize>)> = Vec::new();
-            let mut group_of: HashMap<(usize, usize, usize), usize> = HashMap::new();
-            for &ji in batch {
-                let job = &jobs[ji];
-                let key = (job.circuit, job.device, job.config);
-                match group_of.get(&key) {
-                    Some(&g) => order[g].1.push(ji),
-                    None => {
-                        group_of.insert(key, order.len());
-                        order.push((ji, vec![ji]));
-                    }
-                }
-            }
+            let order = group_by_compile_key(
+                batch,
+                |ji| (jobs[ji].circuit, jobs[ji].device, jobs[ji].config),
+                (
+                    grid.circuits().len(),
+                    grid.devices().len(),
+                    grid.configs().len(),
+                ),
+            );
             stats.compiles += order.len();
 
             let batch_results: Vec<Vec<(usize, JobOutcome)>> =
@@ -560,6 +555,37 @@ pub fn merge_spec(spec: &ExperimentSpec, engine: &Engine) -> Result<SpecRun, Spe
     })
 }
 
+/// Groups a batch's job indices by shared `(circuit, device, config)`
+/// compile key: the executable is model-independent, so each group
+/// compiles once. Returns `(first member, all members)` per group in
+/// **first-appearance order** over `batch` — grouping is reproducible by
+/// construction because the key lookup is a dense array over the axis
+/// index space (`dims` = circuit/device/config axis lengths), not a
+/// hash map with iteration-order freedom.
+fn group_by_compile_key(
+    batch: &[usize],
+    key_of: impl Fn(usize) -> (usize, usize, usize),
+    dims: (usize, usize, usize),
+) -> Vec<(usize, Vec<usize>)> {
+    /// Dense-map sentinel: "this key has no group yet".
+    const NO_GROUP: u32 = u32::MAX;
+    let (_, nd, ncfg) = dims;
+    let mut group_of: Vec<u32> = vec![NO_GROUP; (dims.0 * nd * ncfg).max(1)];
+    let mut order: Vec<(usize, Vec<usize>)> = Vec::new();
+    for &ji in batch {
+        let (c, d, cfg) = key_of(ji);
+        let key = (c * nd + d) * ncfg + cfg;
+        match group_of[key] {
+            NO_GROUP => {
+                group_of[key] = order.len() as u32;
+                order.push((ji, vec![ji]));
+            }
+            g => order[g as usize].1.push(ji),
+        }
+    }
+    order
+}
+
 /// The minimum expanded axis lengths a projection's layout assumes:
 /// `(circuits, devices, configs, models)`. Checked before projecting so
 /// a hand-authored spec with too-thin axes gets a [`SpecError`] naming
@@ -707,6 +733,36 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("qccd-engine-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
+    }
+
+    #[test]
+    fn compile_groups_form_in_first_appearance_order() {
+        // Keys interleave so that a map with iteration-order freedom
+        // could emit any of several group orders; the dense map must
+        // pin first-appearance order over the batch, with members in
+        // batch order within each group.
+        let keys = [
+            (1, 0, 1), // ji 0 -> group 0
+            (0, 1, 0), // ji 1 -> group 1
+            (1, 0, 1), // ji 2 -> group 0
+            (0, 0, 0), // ji 3 -> group 2
+            (0, 1, 0), // ji 4 -> group 1
+            (1, 0, 1), // ji 5 -> group 0
+        ];
+        let batch: Vec<usize> = (0..keys.len()).collect();
+        let order = group_by_compile_key(&batch, |ji| keys[ji], (2, 2, 2));
+        assert_eq!(
+            order,
+            vec![(0, vec![0, 2, 5]), (1, vec![1, 4]), (3, vec![3]),]
+        );
+        // Reversing the batch reverses the group order the same way —
+        // the order is a function of the batch, not of the key values.
+        let reversed: Vec<usize> = batch.iter().rev().copied().collect();
+        let order = group_by_compile_key(&reversed, |ji| keys[ji], (2, 2, 2));
+        assert_eq!(
+            order,
+            vec![(5, vec![5, 2, 0]), (4, vec![4, 1]), (3, vec![3]),]
+        );
     }
 
     #[test]

@@ -18,6 +18,9 @@ use std::collections::BinaryHeap;
 use std::fmt;
 use std::sync::OnceLock;
 
+/// Packed "no predecessor" sentinel in [`RouteScratch::prev`].
+const NO_PREV: u64 = u64::MAX;
+
 /// Relative Dijkstra weight of crossing one junction (vs one segment unit).
 const JUNCTION_WEIGHT: u64 = 12;
 /// Relative Dijkstra weight of passing through an intermediate trap.
@@ -120,6 +123,41 @@ impl fmt::Display for RouteError {
 
 impl std::error::Error for RouteError {}
 
+/// Reusable flat Dijkstra arena: distance and packed-parent arrays plus
+/// the frontier heap, sized once per device and reused across sources.
+///
+/// A per-pair [`Device::route`] call allocates all three afresh; the
+/// batched [`Device::routes_from_with`] path reuses one arena across an
+/// entire all-pairs sweep (n Dijkstra runs, zero reallocation after the
+/// first), which is what [`RouteCache::warm`] and the cache's
+/// row-at-a-time fills ride on.
+#[derive(Debug, Default)]
+pub struct RouteScratch {
+    /// Per node: best known cost from the current source.
+    dist: Vec<u64>,
+    /// Per node: packed `(parent node index << 32) | segment raw id`,
+    /// or [`NO_PREV`].
+    prev: Vec<u64>,
+    /// Frontier, min-first via `Reverse`.
+    heap: BinaryHeap<std::cmp::Reverse<(u64, usize)>>,
+}
+
+impl RouteScratch {
+    /// Creates an empty arena; buffers are sized on first use.
+    pub fn new() -> Self {
+        RouteScratch::default()
+    }
+
+    /// Resets for a fresh run over `n` nodes, keeping allocations.
+    fn reset(&mut self, n: usize) {
+        self.dist.clear();
+        self.dist.resize(n, u64::MAX);
+        self.prev.clear();
+        self.prev.resize(n, NO_PREV);
+        self.heap.clear();
+    }
+}
+
 impl Device {
     /// Computes the cheapest shuttling route from `from` to `to`.
     ///
@@ -163,13 +201,69 @@ impl Device {
         if from == to {
             return Err(RouteError::SameTrap(from));
         }
+        let mut scratch = RouteScratch::new();
+        self.dijkstra(
+            from,
+            Some(to),
+            &mut scratch,
+            segment_penalty,
+            junction_penalty,
+        );
+        self.extract_route(from, to, &scratch)
+    }
 
+    /// Computes the cheapest static route from `from` to **every** trap
+    /// in one Dijkstra pass over `scratch`'s flat distance/parent
+    /// arrays, returning one `Result` per destination (indexed by trap
+    /// id; `from` itself yields [`RouteError::SameTrap`]).
+    ///
+    /// Each returned route is *identical* to the corresponding
+    /// [`Device::route`] result: the destination-specific run differs
+    /// from this batched one only in the entry cost of the destination
+    /// itself (0 vs [`TRAP_WEIGHT`]), a constant offset on every
+    /// candidate path that cannot change which predecessor chain wins —
+    /// and no edge out of a trap is relaxed until that trap is settled,
+    /// so the chains the per-destination run would have produced are
+    /// settled identically here. Pinned by the all-pairs equivalence
+    /// tests below.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is out of range for this device.
+    pub fn routes_from_with(
+        &self,
+        from: TrapId,
+        scratch: &mut RouteScratch,
+    ) -> Vec<Result<Route, RouteError>> {
+        assert!(from.index() < self.trap_count(), "unknown trap {from}");
+        self.dijkstra(from, None, scratch, &|_| 0, &|_| 0);
+        self.trap_ids()
+            .map(|to| {
+                if to == from {
+                    Err(RouteError::SameTrap(from))
+                } else {
+                    self.extract_route(from, to, scratch)
+                }
+            })
+            .collect()
+    }
+
+    /// The shared Dijkstra core over the flat node index space (traps
+    /// then junctions). With `to == Some(t)`, entering `t` is free and
+    /// the search stops once `t` is settled (the per-pair query); with
+    /// `to == None` every trap entry costs [`TRAP_WEIGHT`] and the
+    /// search settles the whole component (the batched all-destinations
+    /// query).
+    fn dijkstra(
+        &self,
+        from: TrapId,
+        to: Option<TrapId>,
+        scratch: &mut RouteScratch,
+        segment_penalty: &dyn Fn(SegmentId) -> u64,
+        junction_penalty: &dyn Fn(JunctionId) -> u64,
+    ) {
         let n_traps = self.trap_count();
         let n_nodes = n_traps + self.junction_count();
-        let idx = |n: NodeRef| match n {
-            NodeRef::Trap(t) => t.index(),
-            NodeRef::Junction(j) => n_traps + j.index(),
-        };
         let node_of = |i: usize| {
             if i < n_traps {
                 NodeRef::Trap(TrapId(i as u32))
@@ -183,24 +277,22 @@ impl Device {
         // destination cost a merge+reorder+split.
         let entry_cost = |node: NodeRef| -> u64 {
             match node {
-                NodeRef::Trap(t) if t == to => 0,
+                NodeRef::Trap(t) if Some(t) == to => 0,
                 NodeRef::Trap(_) => TRAP_WEIGHT,
                 NodeRef::Junction(j) => JUNCTION_WEIGHT + junction_penalty(j),
             }
         };
 
-        let mut dist = vec![u64::MAX; n_nodes];
-        let mut prev: Vec<Option<(usize, SegmentId)>> = vec![None; n_nodes];
-        let mut heap: BinaryHeap<std::cmp::Reverse<(u64, usize)>> = BinaryHeap::new();
-        let src = idx(NodeRef::Trap(from));
-        dist[src] = 0;
-        heap.push(std::cmp::Reverse((0, src)));
+        scratch.reset(n_nodes);
+        let src = from.index();
+        scratch.dist[src] = 0;
+        scratch.heap.push(std::cmp::Reverse((0, src)));
 
-        while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
-            if d > dist[u] {
+        while let Some(std::cmp::Reverse((d, u))) = scratch.heap.pop() {
+            if d > scratch.dist[u] {
                 continue;
             }
-            if u == idx(NodeRef::Trap(to)) {
+            if Some(u) == to.map(TrapId::index) {
                 break;
             }
             let u_node = node_of(u);
@@ -209,18 +301,38 @@ impl Device {
                 let Some(v_node) = seg.other_end(u_node) else {
                     continue;
                 };
-                let v = idx(v_node);
+                let v = match v_node {
+                    NodeRef::Trap(t) => t.index(),
+                    NodeRef::Junction(j) => n_traps + j.index(),
+                };
                 let nd = d + u64::from(seg.length()) + segment_penalty(s) + entry_cost(v_node);
-                if nd < dist[v] {
-                    dist[v] = nd;
-                    prev[v] = Some((u, s));
-                    heap.push(std::cmp::Reverse((nd, v)));
+                if nd < scratch.dist[v] {
+                    scratch.dist[v] = nd;
+                    scratch.prev[v] = ((u as u64) << 32) | u64::from(s.0);
+                    scratch.heap.push(std::cmp::Reverse((nd, v)));
                 }
             }
         }
+    }
 
-        let dst = idx(NodeRef::Trap(to));
-        if dist[dst] == u64::MAX {
+    /// Walks `scratch.prev` back from `to` and cuts the node/segment
+    /// path into [`Leg`]s at trap boundaries.
+    fn extract_route(
+        &self,
+        from: TrapId,
+        to: TrapId,
+        scratch: &RouteScratch,
+    ) -> Result<Route, RouteError> {
+        let n_traps = self.trap_count();
+        let node_of = |i: usize| {
+            if i < n_traps {
+                NodeRef::Trap(TrapId(i as u32))
+            } else {
+                NodeRef::Junction(JunctionId((i - n_traps) as u32))
+            }
+        };
+        let dst = to.index();
+        if scratch.dist[dst] == u64::MAX {
             return Err(RouteError::Unreachable(from, to));
         }
 
@@ -228,8 +340,10 @@ impl Device {
         let mut nodes: Vec<NodeRef> = vec![NodeRef::Trap(to)];
         let mut segs: Vec<SegmentId> = Vec::new();
         let mut cur = dst;
-        while let Some((p, s)) = prev[cur] {
-            segs.push(s);
+        while scratch.prev[cur] != NO_PREV {
+            let packed = scratch.prev[cur];
+            let p = (packed >> 32) as usize;
+            segs.push(SegmentId(packed as u32));
             nodes.push(node_of(p));
             cur = p;
         }
@@ -279,10 +393,13 @@ impl Device {
 ///
 /// [`Device::route`] runs a fresh Dijkstra per call; the compiler's
 /// routing and eviction policies ask for the same trap pairs over and
-/// over (once per gate, and once per candidate trap per eviction), so a
-/// cache turns the per-gate cost into a table lookup after the first
-/// query. Each pair is computed on first use — building the cache is
-/// free for pairs that are never routed.
+/// over (once per gate, and once per candidate trap per eviction).
+/// The cache stores one dense row of routes per source trap, filled by
+/// a *single* batched Dijkstra pass ([`Device::routes_from_with`]) on
+/// the first query from that source — the common access pattern routes
+/// one source to many candidate destinations, so the whole row pays
+/// for itself immediately, and every later `(src, dst)` query is a
+/// dense index lookup with no hashing.
 ///
 /// The cache is `Sync`: sweep workers can share one per device.
 ///
@@ -301,9 +418,14 @@ impl Device {
 #[derive(Debug)]
 pub struct RouteCache<'d> {
     device: &'d Device,
-    /// Row-major `[from][to]` cells, each computed at most once.
-    cells: Vec<OnceLock<Result<Route, RouteError>>>,
+    /// One dense destination-indexed row per source trap, each batch
+    /// computed at most once.
+    rows: Vec<OnceLock<RouteRow>>,
 }
+
+/// A computed row of the cache: every route out of one source trap,
+/// indexed by destination trap.
+type RouteRow = Box<[Result<Route, RouteError>]>;
 
 impl<'d> RouteCache<'d> {
     /// Creates an empty cache over `device`. No routes are computed yet.
@@ -311,7 +433,7 @@ impl<'d> RouteCache<'d> {
         let n = device.trap_count();
         RouteCache {
             device,
-            cells: (0..n * n).map(|_| OnceLock::new()).collect(),
+            rows: (0..n).map(|_| OnceLock::new()).collect(),
         }
     }
 
@@ -320,9 +442,21 @@ impl<'d> RouteCache<'d> {
         self.device
     }
 
-    /// The cheapest route from `from` to `to`, computed on first use and
-    /// memoized thereafter. Identical to [`Device::route`] in every
-    /// outcome, including errors.
+    /// Eagerly computes every row, reusing one scratch arena across all
+    /// sources. After `warm()` every [`RouteCache::route`] call is a
+    /// pure lookup.
+    pub fn warm(&self) {
+        let mut scratch = RouteScratch::new();
+        for from in self.device.trap_ids() {
+            self.rows[from.index()]
+                .get_or_init(|| self.device.routes_from_with(from, &mut scratch).into());
+        }
+    }
+
+    /// The cheapest route from `from` to `to`. The first query from
+    /// any source computes that source's whole row in one batched
+    /// Dijkstra pass; later queries are lookups. Identical to
+    /// [`Device::route`] in every outcome, including errors.
     ///
     /// # Errors
     ///
@@ -336,10 +470,11 @@ impl<'d> RouteCache<'d> {
         let n = self.device.trap_count();
         assert!(from.index() < n, "unknown trap {from}");
         assert!(to.index() < n, "unknown trap {to}");
-        self.cells[from.index() * n + to.index()]
-            .get_or_init(|| self.device.route(from, to))
-            .as_ref()
-            .map_err(Clone::clone)
+        let row = self.rows[from.index()].get_or_init(|| {
+            let mut scratch = RouteScratch::new();
+            self.device.routes_from_with(from, &mut scratch).into()
+        });
+        row[to.index()].as_ref().map_err(Clone::clone)
     }
 }
 
@@ -511,6 +646,36 @@ mod tests {
                     // Second lookup hits the memo and agrees with itself.
                     assert_eq!(cached, cache.route(a, b).cloned());
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_routes_match_per_pair_dijkstra_exactly() {
+        // The bit-identical contract for the batched pass: one generic
+        // Dijkstra per source must reproduce every per-destination
+        // early-break run, including errors, on both topology families.
+        let mut scratch = RouteScratch::new();
+        for d in [presets::l6(15), presets::g2x3(15)] {
+            for a in d.trap_ids() {
+                let row = d.routes_from_with(a, &mut scratch);
+                assert_eq!(row.len(), d.trap_count());
+                for b in d.trap_ids() {
+                    assert_eq!(row[b.index()], d.route(a, b), "{a}->{b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn warmed_cache_matches_lazy_cache() {
+        let d = presets::g2x3(15);
+        let warmed = RouteCache::new(&d);
+        warmed.warm();
+        let lazy = RouteCache::new(&d);
+        for a in d.trap_ids() {
+            for b in d.trap_ids() {
+                assert_eq!(warmed.route(a, b), lazy.route(a, b), "{a}->{b}");
             }
         }
     }

@@ -67,13 +67,17 @@ pub(super) fn run(
         ms_background_sum: 0.0,
         ms_motional_sum: 0.0,
     };
-    let mut bound = Vec::with_capacity(exe.len());
+    let mut prog = BoundProgram::with_capacity(exe.len());
     for inst in exe.instructions() {
-        bound.push(binder.bind(inst, &map)?);
+        binder.bind(inst, &map, &mut prog)?;
     }
 
-    let timings = commit(&bound, &map, hook);
-    Ok(finalize(exe, binder, &bound, &timings))
+    let timings = if hook.observes_events() {
+        commit(&prog, &map, hook)
+    } else {
+        relax(&prog, &map)
+    };
+    Ok(finalize(exe, binder, &prog, &timings))
 }
 
 /// Flat index space over all schedulable resources: ions, then traps,
@@ -133,13 +137,73 @@ enum OpClass {
 
 /// One instruction after the bind pass: its exclusive resource set (in
 /// the legacy engine's max-fold order, deduplicated), its duration, and
-/// everything needed to emit its events.
+/// everything needed to emit its events. Resources and junctions are
+/// `(start, len)` ranges into the owning [`BoundProgram`]'s flat arenas
+/// — no per-instruction allocations.
+#[derive(Clone, Copy)]
 struct BoundInst {
-    resources: Vec<usize>,
+    res_start: u32,
+    res_len: u32,
+    junc_start: u32,
+    junc_len: u32,
     duration: f64,
     op: OpClass,
-    /// Junctions crossed, for moves only (transit events).
+}
+
+/// The whole bound instruction stream plus the two flat arenas its
+/// instructions' resource and junction ranges point into.
+struct BoundProgram {
+    insts: Vec<BoundInst>,
+    /// Every instruction's resource ids, concatenated.
+    resources: Vec<u32>,
+    /// Every move's crossed junctions, concatenated.
     junctions: Vec<JunctionId>,
+}
+
+impl BoundProgram {
+    fn with_capacity(insts: usize) -> Self {
+        BoundProgram {
+            insts: Vec::with_capacity(insts),
+            // Most instructions claim 2–3 resources (gates: ion(s) +
+            // trap); legs add their path elements on top.
+            resources: Vec::with_capacity(insts * 3),
+            junctions: Vec::new(),
+        }
+    }
+
+    fn resources_of(&self, i: usize) -> &[u32] {
+        let b = &self.insts[i];
+        &self.resources[b.res_start as usize..(b.res_start + b.res_len) as usize]
+    }
+
+    fn junctions_of(&self, i: usize) -> &[JunctionId] {
+        let b = &self.insts[i];
+        &self.junctions[b.junc_start as usize..(b.junc_start + b.junc_len) as usize]
+    }
+
+    /// Seals one instruction: deduplicates the resource ids pushed since
+    /// `res_start` (keeping first occurrences — duplicates arise only in
+    /// hand-authored streams, e.g. `ms ion0, ion0`, but would wedge the
+    /// head-of-queue grant rule) and records the arena ranges.
+    fn finish_inst(&mut self, res_start: usize, junc_start: usize, duration: f64, op: OpClass) {
+        let mut len = res_start;
+        for i in res_start..self.resources.len() {
+            let r = self.resources[i];
+            if !self.resources[res_start..len].contains(&r) {
+                self.resources[len] = r;
+                len += 1;
+            }
+        }
+        self.resources.truncate(len);
+        self.insts.push(BoundInst {
+            res_start: res_start as u32,
+            res_len: (len - res_start) as u32,
+            junc_start: junc_start as u32,
+            junc_len: (self.junctions.len() - junc_start) as u32,
+            duration,
+            op,
+        });
+    }
 }
 
 impl BoundInst {
@@ -218,18 +282,24 @@ impl Binder<'_> {
         (tau, breakdown.total())
     }
 
-    fn bind(&mut self, inst: &Inst, map: &ResourceMap) -> Result<BoundInst, SimError> {
+    /// Binds one instruction, appending its resources/junctions to
+    /// `prog`'s arenas and its [`BoundInst`] to the stream.
+    fn bind(
+        &mut self,
+        inst: &Inst,
+        map: &ResourceMap,
+        prog: &mut BoundProgram,
+    ) -> Result<(), SimError> {
+        let rs = prog.resources.len();
+        let js = prog.junctions.len();
         match inst {
             Inst::OneQubit { ion, .. } => {
                 let trap = self.located_trap(*ion)?;
                 self.charge_error(self.model.fidelity.one_qubit_error);
                 self.errors.one_qubit += self.model.fidelity.one_qubit_error;
-                Ok(BoundInst {
-                    resources: vec![map.ion(*ion), map.trap(trap)],
-                    duration: self.model.one_qubit_time,
-                    op: OpClass::Gate,
-                    junctions: Vec::new(),
-                })
+                prog.resources
+                    .extend([map.ion(*ion) as u32, map.trap(trap) as u32]);
+                prog.finish_inst(rs, js, self.model.one_qubit_time, OpClass::Gate);
             }
             Inst::Ms { a, b } => {
                 let trap = self.located_trap(*a)?;
@@ -238,12 +308,12 @@ impl Binder<'_> {
                 }
                 let (tau, err) = self.ms_interaction(*a, *b, trap);
                 self.errors.two_qubit += err;
-                Ok(BoundInst {
-                    resources: dedup(vec![map.ion(*a), map.ion(*b), map.trap(trap)]),
-                    duration: tau,
-                    op: OpClass::Gate,
-                    junctions: Vec::new(),
-                })
+                prog.resources.extend([
+                    map.ion(*a) as u32,
+                    map.ion(*b) as u32,
+                    map.trap(trap) as u32,
+                ]);
+                prog.finish_inst(rs, js, tau, OpClass::Gate);
             }
             Inst::SwapGate { a, b } => {
                 let trap = self.located_trap(*a)?;
@@ -266,12 +336,12 @@ impl Binder<'_> {
                 }
                 self.errors.swap += swap_err;
                 self.st.swap_states(*a, *b);
-                Ok(BoundInst {
-                    resources: dedup(vec![map.ion(*a), map.ion(*b), map.trap(trap)]),
-                    duration: tau,
-                    op: OpClass::Gate,
-                    junctions: Vec::new(),
-                })
+                prog.resources.extend([
+                    map.ion(*a) as u32,
+                    map.ion(*b) as u32,
+                    map.trap(trap) as u32,
+                ]);
+                prog.finish_inst(rs, js, tau, OpClass::Gate);
             }
             Inst::IonSwap { a, b } => {
                 let trap = self.located_trap(*a)?;
@@ -298,12 +368,12 @@ impl Binder<'_> {
                 };
                 self.bump_trap_energy(trap, new_energy);
                 self.st.swap_positions(*a, *b);
-                Ok(BoundInst {
-                    resources: dedup(vec![map.ion(*a), map.ion(*b), map.trap(trap)]),
-                    duration: tau,
-                    op: OpClass::IonSwap,
-                    junctions: Vec::new(),
-                })
+                prog.resources.extend([
+                    map.ion(*a) as u32,
+                    map.ion(*b) as u32,
+                    map.trap(trap) as u32,
+                ]);
+                prog.finish_inst(rs, js, tau, OpClass::IonSwap);
             }
             Inst::Split { ion, trap, side } => {
                 if self.st.trap_of(*ion) != Some(*trap) {
@@ -322,12 +392,9 @@ impl Binder<'_> {
                 self.flight_energy[ion.index()] = e_ion;
                 self.st.remove_end(*ion, *trap, *side);
                 self.bump_trap_energy(*trap, e_rest);
-                Ok(BoundInst {
-                    resources: vec![map.ion(*ion), map.trap(*trap)],
-                    duration: self.model.shuttle.split,
-                    op: OpClass::Split,
-                    junctions: Vec::new(),
-                })
+                prog.resources
+                    .extend([map.ion(*ion) as u32, map.trap(*trap) as u32]);
+                prog.finish_inst(rs, js, self.model.shuttle.split, OpClass::Split);
             }
             Inst::Move { ion, leg } => {
                 if self.st.trap_of(*ion).is_some() {
@@ -348,19 +415,15 @@ impl Binder<'_> {
                 // The ion is resource 0; path elements follow. The grant
                 // logic relies on this layout to reproduce the legacy
                 // engine's wait accounting.
-                let mut resources = vec![map.ion(*ion)];
+                prog.resources.push(map.ion(*ion) as u32);
                 for s in &leg.segments {
-                    resources.push(map.seg(*s));
+                    prog.resources.push(map.seg(*s) as u32);
                 }
                 for j in &leg.junctions {
-                    resources.push(map.junc(*j));
+                    prog.resources.push(map.junc(*j) as u32);
                 }
-                Ok(BoundInst {
-                    resources: dedup(resources),
-                    duration: tau,
-                    op: OpClass::Leg,
-                    junctions: leg.junctions.clone(),
-                })
+                prog.junctions.extend_from_slice(&leg.junctions);
+                prog.finish_inst(rs, js, tau, OpClass::Leg);
             }
             Inst::Merge { ion, trap, side } => {
                 if self.st.trap_of(*ion).is_some() {
@@ -375,43 +438,21 @@ impl Binder<'_> {
                 self.flight_energy[ion.index()] = 0.0;
                 self.st.insert_end(*ion, *trap, *side);
                 self.bump_trap_energy(*trap, merged);
-                Ok(BoundInst {
-                    resources: vec![map.ion(*ion), map.trap(*trap)],
-                    duration: self.model.shuttle.merge,
-                    op: OpClass::Merge,
-                    junctions: Vec::new(),
-                })
+                prog.resources
+                    .extend([map.ion(*ion) as u32, map.trap(*trap) as u32]);
+                prog.finish_inst(rs, js, self.model.shuttle.merge, OpClass::Merge);
             }
             Inst::Measure { ion } => {
                 let trap = self.located_trap(*ion)?;
                 self.charge_error(self.model.fidelity.measure_error);
                 self.errors.measure += self.model.fidelity.measure_error;
-                Ok(BoundInst {
-                    resources: vec![map.ion(*ion), map.trap(trap)],
-                    duration: self.model.measure_time,
-                    op: OpClass::Gate,
-                    junctions: Vec::new(),
-                })
+                prog.resources
+                    .extend([map.ion(*ion) as u32, map.trap(trap) as u32]);
+                prog.finish_inst(rs, js, self.model.measure_time, OpClass::Gate);
             }
         }
+        Ok(())
     }
-}
-
-/// Removes duplicate resources, keeping first occurrences. Duplicates
-/// arise only in hand-authored streams (e.g. `ms ion0, ion0`) but would
-/// wedge the head-of-queue grant rule, so they are squashed at bind
-/// time. Resource lists are ≤ leg length, so the quadratic scan is fine.
-fn dedup(mut resources: Vec<usize>) -> Vec<usize> {
-    let mut seen = Vec::with_capacity(resources.len());
-    resources.retain(|r| {
-        if seen.contains(r) {
-            false
-        } else {
-            seen.push(*r);
-            true
-        }
-    });
-    resources
 }
 
 /// Per-instruction timing resolved by the event loop.
@@ -423,29 +464,93 @@ struct Timing {
     wait: f64,
 }
 
-/// Stage 2 + 3: build the claim queues, then drain the event heap.
-fn commit(bound: &[BoundInst], map: &ResourceMap, hook: &mut dyn EventHook) -> Vec<Timing> {
+/// Builds and seals the claim queues: every instruction enqueued on
+/// every resource it uses, in program order.
+fn build_timelines(prog: &BoundProgram, map: &ResourceMap) -> ResourceTimelines {
     let mut tl = ResourceTimelines::new(map.total());
-    for (i, b) in bound.iter().enumerate() {
-        for &r in &b.resources {
-            tl.enqueue(r, i);
+    for i in 0..prog.insts.len() {
+        for &r in prog.resources_of(i) {
+            tl.enqueue(r as usize, i);
         }
     }
+    tl.seal();
+    tl
+}
+
+/// Stage 2 + 3, unobserved: when no hook wants the event stream the
+/// start/end/wait times are resolved by a direct worklist relaxation
+/// over the claim queues — same grant rule, same max-folds, the same
+/// float operations in the same order, no event heap and no events.
+///
+/// This is bitwise-identical to [`commit`] (pinned by a differential
+/// test) because an instruction's timing is a pure function of its
+/// resources' `free_at` values, which are final exactly when it reaches
+/// the head of all its queues: every resource a granted instruction
+/// waits on was last released by its immediate queue predecessor, and
+/// only the instruction itself can touch those resources afterwards.
+/// Time-ordered event popping therefore only sequences the *observable*
+/// stream; with nobody observing, any grant-cascade order yields the
+/// same timings.
+fn relax(prog: &BoundProgram, map: &ResourceMap) -> Vec<Timing> {
+    let bound = &prog.insts;
+    let mut tl = build_timelines(prog, map);
     let mut granted = vec![0usize; bound.len()];
     let mut timings = vec![Timing::default(); bound.len()];
-    let mut queue = EventQueue::new();
+    let mut ready: Vec<usize> = Vec::new();
+    for (i, b) in bound.iter().enumerate() {
+        granted[i] = prog
+            .resources_of(i)
+            .iter()
+            .filter(|&&r| tl.head(r as usize) == Some(i))
+            .count();
+        if granted[i] == b.res_len as usize {
+            ready.push(i);
+        }
+    }
+
+    let mut finished = 0usize;
+    while let Some(i) = ready.pop() {
+        resolve_timing(i, prog, &tl, &mut timings);
+        let end = timings[i].end;
+        for &r in prog.resources_of(i) {
+            if let Some(h) = tl.pass_through(r as usize, i, end) {
+                granted[h] += 1;
+                if granted[h] == bound[h].res_len as usize {
+                    ready.push(h);
+                }
+            }
+        }
+        finished += 1;
+    }
+
+    assert_eq!(
+        finished,
+        bound.len(),
+        "relaxation stalled with instructions pending — the program-order \
+         claim queues should make this impossible"
+    );
+    timings
+}
+
+/// Stage 2 + 3: build the claim queues, then drain the event heap.
+fn commit(prog: &BoundProgram, map: &ResourceMap, hook: &mut dyn EventHook) -> Vec<Timing> {
+    let bound = &prog.insts;
+    let mut tl = build_timelines(prog, map);
+    let mut granted = vec![0usize; bound.len()];
+    let mut timings = vec![Timing::default(); bound.len()];
+    let mut queue = EventQueue::with_capacity(bound.len());
     let mut finished = 0usize;
 
     // Initial grants: instructions already at the head of all their
     // queues start as soon as their resources are free (t = 0).
     for (i, b) in bound.iter().enumerate() {
-        granted[i] = b
-            .resources
+        granted[i] = prog
+            .resources_of(i)
             .iter()
-            .filter(|&&r| tl.head(r) == Some(i))
+            .filter(|&&r| tl.head(r as usize) == Some(i))
             .count();
-        if granted[i] == b.resources.len() {
-            schedule_start(i, b, &tl, &mut timings, &mut queue);
+        if granted[i] == b.res_len as usize {
+            schedule_start(i, prog, &tl, &mut timings, &mut queue);
         }
     }
 
@@ -453,11 +558,11 @@ fn commit(bound: &[BoundInst], map: &ResourceMap, hook: &mut dyn EventHook) -> V
         hook.on_event(&ev);
         let i = ev.kind.inst();
         if ev.kind.is_finish() {
-            for &r in &bound[i].resources {
-                if let Some(h) = tl.release(r, i, ev.time) {
+            for &r in prog.resources_of(i) {
+                if let Some(h) = tl.release(r as usize, i, ev.time) {
                     granted[h] += 1;
-                    if granted[h] == bound[h].resources.len() {
-                        schedule_start(h, &bound[h], &tl, &mut timings, &mut queue);
+                    if granted[h] == bound[h].res_len as usize {
+                        schedule_start(h, prog, &tl, &mut timings, &mut queue);
                     }
                 }
             }
@@ -467,12 +572,13 @@ fn commit(bound: &[BoundInst], map: &ResourceMap, hook: &mut dyn EventHook) -> V
             // panics inside `reserve`), emit any junction transits, and
             // schedule the finish.
             let b = &bound[i];
-            for &r in &b.resources {
-                tl.reserve(r, i);
+            for &r in prog.resources_of(i) {
+                tl.reserve(r as usize, i);
             }
             let Timing { start, end, .. } = timings[i];
-            let crossings = b.junctions.len();
-            for (c, &j) in b.junctions.iter().enumerate() {
+            let junctions = prog.junctions_of(i);
+            let crossings = junctions.len();
+            for (c, &j) in junctions.iter().enumerate() {
                 let frac = (c + 1) as f64 / (crossings + 1) as f64;
                 let at = start + b.duration * frac;
                 queue.push(
@@ -496,31 +602,26 @@ fn commit(bound: &[BoundInst], map: &ResourceMap, hook: &mut dyn EventHook) -> V
     timings
 }
 
-/// Resolves instruction `i`'s start time from its resources' free
-/// times and schedules its start event. Called exactly once per
-/// instruction, at the moment it holds the head of all its queues — at
-/// which point every `free_at` it reads is final.
-fn schedule_start(
-    i: usize,
-    b: &BoundInst,
-    tl: &ResourceTimelines,
-    timings: &mut [Timing],
-    queue: &mut EventQueue,
-) {
+/// Resolves instruction `i`'s start/end/wait from its resources' free
+/// times. Called exactly once per instruction, at the moment it holds
+/// the head of all its queues — at which point every `free_at` it reads
+/// is final.
+fn resolve_timing(i: usize, prog: &BoundProgram, tl: &ResourceTimelines, timings: &mut [Timing]) {
+    let b = &prog.insts[i];
+    let resources = prog.resources_of(i);
     let (start, wait) = if b.op == OpClass::Leg {
         // Mirrors the legacy engine's move step: the queueing delay is
         // how long the ion sat waiting for path elements, never the
         // reverse.
-        let ion_free = tl.free_at(b.resources[0]);
-        let path_free = b.resources[1..]
+        let ion_free = tl.free_at(resources[0] as usize);
+        let path_free = resources[1..]
             .iter()
-            .fold(0.0f64, |t, &r| t.max(tl.free_at(r)));
+            .fold(0.0f64, |t, &r| t.max(tl.free_at(r as usize)));
         (ion_free.max(path_free), (path_free - ion_free).max(0.0))
     } else {
-        let start = b
-            .resources
+        let start = resources
             .iter()
-            .fold(0.0f64, |t, &r| t.max(tl.free_at(r)));
+            .fold(0.0f64, |t, &r| t.max(tl.free_at(r as usize)));
         (start, 0.0)
     };
     timings[i] = Timing {
@@ -528,7 +629,18 @@ fn schedule_start(
         end: start + b.duration,
         wait,
     };
-    queue.push(start, b.start_kind(i));
+}
+
+/// [`resolve_timing`] plus the start event, for the observed event loop.
+fn schedule_start(
+    i: usize,
+    prog: &BoundProgram,
+    tl: &ResourceTimelines,
+    timings: &mut [Timing],
+    queue: &mut EventQueue,
+) {
+    resolve_timing(i, prog, tl, timings);
+    queue.push(timings[i].start, prog.insts[i].start_kind(i));
 }
 
 /// Stage 4: fold per-instruction timings into the report in program
@@ -536,7 +648,7 @@ fn schedule_start(
 fn finalize(
     exe: &Executable,
     binder: Binder<'_>,
-    bound: &[BoundInst],
+    prog: &BoundProgram,
     timings: &[Timing],
 ) -> SimReport {
     let mut gate_spans = SpanSet::new();
@@ -545,7 +657,7 @@ fn finalize(
     let mut shuttle_busy = 0.0;
     let mut shuttle_wait = 0.0;
     let mut makespan = 0.0f64;
-    for (b, t) in bound.iter().zip(timings) {
+    for (b, t) in prog.insts.iter().zip(timings) {
         match b.op {
             OpClass::Gate => {
                 gate_spans.add(t.start, t.end);

@@ -61,14 +61,33 @@ use qccd_physics::PhysicalModel;
 pub trait EventHook {
     /// Observes one committed event.
     fn on_event(&mut self, event: &Event);
+
+    /// Whether this hook wants the event stream at all.
+    ///
+    /// Returning `false` licenses the kernel to skip materializing
+    /// events entirely and resolve timings by a direct worklist
+    /// relaxation over the claim queues — the [`SimReport`] is
+    /// bit-identical either way (pinned by tests), only the
+    /// [`EventHook::on_event`] calls disappear. Defaults to `true`;
+    /// [`NullHook`] opts out.
+    fn observes_events(&self) -> bool {
+        true
+    }
 }
 
 /// The default hook: ignores every event.
+///
+/// Declares [`EventHook::observes_events`] `false`, so
+/// [`simulate_des`] runs the kernel's heap-free fast path.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NullHook;
 
 impl EventHook for NullHook {
     fn on_event(&mut self, _event: &Event) {}
+
+    fn observes_events(&self) -> bool {
+        false
+    }
 }
 
 /// Simulates `exe` with the discrete-event kernel.
@@ -232,6 +251,40 @@ mod tests {
             .filter(|e| matches!(e.kind, EventKind::JunctionTransit { .. }))
             .count();
         assert_eq!(transits, exe.counts().junction_crossings);
+    }
+
+    #[test]
+    fn unobserved_fast_path_matches_event_loop_bitwise() {
+        // A hook that observes (default) forces the full event loop; the
+        // NullHook path takes the heap-free relaxation. The reports must
+        // agree to the bit on both workload shapes.
+        struct Observer(usize);
+        impl EventHook for Observer {
+            fn on_event(&mut self, _event: &Event) {
+                self.0 += 1;
+            }
+        }
+        let model = PhysicalModel::default();
+        for (circuit, device) in [
+            (generators::qaoa(20, 2, 11), presets::l6(20)),
+            (
+                generators::random_circuit(30, 200, 0.7, 13),
+                presets::g2x3(8),
+            ),
+        ] {
+            let exe = compile(&circuit, &device, &CompilerConfig::default()).expect("compiles");
+            let mut hook = Observer(0);
+            let looped =
+                simulate_des_with_hook(&exe, &device, &model, &mut hook).expect("simulates");
+            let relaxed = simulate_des(&exe, &device, &model).expect("simulates");
+            assert!(hook.0 > 0, "observer saw the event stream");
+            assert_eq!(
+                serde_json::to_string_pretty(&looped).unwrap(),
+                serde_json::to_string_pretty(&relaxed).unwrap(),
+                "paths bit-diverged on {}",
+                circuit.name()
+            );
+        }
     }
 
     #[test]

@@ -25,6 +25,17 @@ impl EventQueue {
         EventQueue::default()
     }
 
+    /// Creates an empty queue whose heap can hold `cap` pending events
+    /// without reallocating. The kernel pre-sizes to the instruction
+    /// count — a comfortable bound on the pending-event high-water mark
+    /// in practice — so the heap allocation happens once per run.
+    pub fn with_capacity(cap: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(cap),
+            next_seq: 0,
+        }
+    }
+
     /// Schedules `kind` at `time`, stamping the next FIFO sequence
     /// number. Returns the stamped number.
     ///

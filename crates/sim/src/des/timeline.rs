@@ -9,8 +9,19 @@
 //! unfinished instruction is always eventually at every head) and two
 //! instructions can never hold the same segment or junction at once —
 //! [`ResourceTimelines::reserve`] panics on any attempted double-book.
+//!
+//! The kernel's protocol is two-phase — every [`ResourceTimelines::enqueue`]
+//! happens during the bind pass, before any grant — so the queues are
+//! stored flat: claims are staged as `(resource, instruction)` pairs and
+//! [`ResourceTimelines::seal`] counting-sorts them (stably, preserving
+//! FIFO order) into one CSR-style arena with a per-resource pop cursor.
+//! No per-resource `VecDeque` allocations, and occupancy is one bit per
+//! resource.
 
-use std::collections::VecDeque;
+use fixedbitset::FixedBitSet;
+
+/// Sentinel in the holder table for "nobody holds this resource".
+const NO_HOLDER: u32 = u32::MAX;
 
 /// FIFO claim queues and occupancy state for a flat-indexed resource
 /// space.
@@ -18,11 +29,22 @@ use std::collections::VecDeque;
 pub struct ResourceTimelines {
     /// Per resource: the time its last released holder finished.
     free_at: Vec<f64>,
-    /// Per resource: the instruction currently holding it, if any.
-    holder: Vec<Option<usize>>,
-    /// Per resource: pending claimants, in program order. The head may
-    /// be executing (it stays queued until released).
-    queues: Vec<VecDeque<usize>>,
+    /// Per resource: one bit, set while the resource is held.
+    busy: FixedBitSet,
+    /// Per resource: the instruction currently holding it (`NO_HOLDER`
+    /// if free).
+    holder: Vec<u32>,
+    /// Claims staged by [`ResourceTimelines::enqueue`], in program
+    /// order, until [`ResourceTimelines::seal`] sorts them into `items`.
+    staged: Vec<(u32, u32)>,
+    /// CSR row starts into `items`, one per resource plus a final end.
+    offsets: Vec<u32>,
+    /// All claims, grouped by resource, program order within each group.
+    items: Vec<u32>,
+    /// Per resource: absolute index of the current queue head in
+    /// `items`; popping advances it toward `offsets[r + 1]`.
+    cursor: Vec<u32>,
+    sealed: bool,
 }
 
 impl ResourceTimelines {
@@ -30,20 +52,65 @@ impl ResourceTimelines {
     pub fn new(resources: usize) -> Self {
         ResourceTimelines {
             free_at: vec![0.0; resources],
-            holder: vec![None; resources],
-            queues: vec![VecDeque::new(); resources],
+            busy: FixedBitSet::with_capacity(resources),
+            holder: vec![NO_HOLDER; resources],
+            staged: Vec::new(),
+            offsets: Vec::new(),
+            items: Vec::new(),
+            cursor: Vec::new(),
+            sealed: false,
         }
     }
 
     /// Appends `inst` to resource `r`'s claim queue. Must be called in
-    /// program order during the bind pass.
+    /// program order during the bind pass, before [`ResourceTimelines::seal`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the timelines are already sealed.
     pub fn enqueue(&mut self, r: usize, inst: usize) {
-        self.queues[r].push_back(inst);
+        assert!(!self.sealed, "enqueue after seal");
+        self.staged.push((r as u32, inst as u32));
+    }
+
+    /// Freezes the claim queues: distributes the staged claims into the
+    /// per-resource CSR rows (a stable counting sort, so each queue
+    /// keeps program order) and enables `head`/`reserve`/`release`.
+    pub fn seal(&mut self) {
+        assert!(!self.sealed, "seal called twice");
+        self.sealed = true;
+        let n = self.free_at.len();
+        let mut counts = vec![0u32; n + 1];
+        for &(r, _) in &self.staged {
+            counts[r as usize + 1] += 1;
+        }
+        for r in 0..n {
+            counts[r + 1] += counts[r];
+        }
+        self.offsets = counts;
+        let mut fill: Vec<u32> = self.offsets[..n].to_vec();
+        self.items = vec![0; self.staged.len()];
+        for &(r, inst) in &self.staged {
+            self.items[fill[r as usize] as usize] = inst;
+            fill[r as usize] += 1;
+        }
+        self.cursor = self.offsets[..n].to_vec();
+        self.staged = Vec::new();
+    }
+
+    fn assert_sealed(&self) {
+        debug_assert!(self.sealed, "claim queues consulted before seal");
     }
 
     /// The next claimant of `r` (possibly the current holder).
     pub fn head(&self, r: usize) -> Option<usize> {
-        self.queues[r].front().copied()
+        self.assert_sealed();
+        let c = self.cursor[r];
+        if c < self.offsets[r + 1] {
+            Some(self.items[c as usize] as usize)
+        } else {
+            None
+        }
     }
 
     /// The finish time of `r`'s last released holder.
@@ -53,7 +120,11 @@ impl ResourceTimelines {
 
     /// The instruction currently holding `r`, if any.
     pub fn holder(&self, r: usize) -> Option<usize> {
-        self.holder[r]
+        if self.busy.contains(r) {
+            Some(self.holder[r] as usize)
+        } else {
+            None
+        }
     }
 
     /// Marks `inst` as holding `r` exclusively.
@@ -64,7 +135,8 @@ impl ResourceTimelines {
     /// at the head of `r`'s claim queue (a FIFO violation). Both would
     /// silently corrupt timing, so they are hard errors.
     pub fn reserve(&mut self, r: usize, inst: usize) {
-        if let Some(other) = self.holder[r] {
+        if self.busy.contains(r) {
+            let other = self.holder[r];
             panic!("resource {r} double-booked: inst {inst} vs holder {other}");
         }
         assert_eq!(
@@ -72,7 +144,28 @@ impl ResourceTimelines {
             Some(inst),
             "inst {inst} reserved resource {r} out of queue order"
         );
-        self.holder[r] = Some(inst);
+        self.busy.insert(r);
+        self.holder[r] = inst as u32;
+    }
+
+    /// Grants and immediately releases `r` for `inst` at time `end`, as
+    /// the kernel's unobserved relaxation does — the hold collapses to a
+    /// point, so the occupancy bit and holder table are never touched.
+    /// Equivalent to [`ResourceTimelines::reserve`] followed by
+    /// [`ResourceTimelines::release`], with the exclusivity invariants
+    /// demoted to debug assertions (the relaxation only processes fully
+    /// granted instructions, which makes violations unreachable).
+    /// Returns the next claimant (the new head), if any.
+    pub fn pass_through(&mut self, r: usize, inst: usize, end: f64) -> Option<usize> {
+        debug_assert!(!self.busy.contains(r), "resource {r} is held");
+        debug_assert_eq!(
+            self.head(r),
+            Some(inst),
+            "inst {inst} passed through resource {r} out of queue order"
+        );
+        self.cursor[r] += 1;
+        self.free_at[r] = end;
+        self.head(r)
     }
 
     /// Releases `r` at time `end`, pops `inst` from the queue head, and
@@ -83,13 +176,14 @@ impl ResourceTimelines {
     /// Panics if `inst` is not the current holder.
     pub fn release(&mut self, r: usize, inst: usize, end: f64) -> Option<usize> {
         assert_eq!(
-            self.holder[r],
+            self.holder(r),
             Some(inst),
             "inst {inst} released resource {r} it does not hold"
         );
-        self.holder[r] = None;
-        let popped = self.queues[r].pop_front();
-        debug_assert_eq!(popped, Some(inst));
+        self.busy.remove(r);
+        self.holder[r] = NO_HOLDER;
+        debug_assert_eq!(self.head(r), Some(inst));
+        self.cursor[r] += 1;
         self.free_at[r] = end;
         self.head(r)
     }
@@ -105,6 +199,7 @@ mod tests {
         tl.enqueue(0, 0);
         tl.enqueue(0, 1);
         tl.enqueue(1, 1);
+        tl.seal();
         assert_eq!(tl.head(0), Some(0));
         tl.reserve(0, 0);
         assert_eq!(tl.holder(0), Some(0));
@@ -125,6 +220,7 @@ mod tests {
         let mut tl = ResourceTimelines::new(1);
         tl.enqueue(0, 0);
         tl.enqueue(0, 1);
+        tl.seal();
         tl.reserve(0, 0);
         tl.reserve(0, 1);
     }
@@ -135,6 +231,7 @@ mod tests {
         let mut tl = ResourceTimelines::new(1);
         tl.enqueue(0, 0);
         tl.enqueue(0, 1);
+        tl.seal();
         tl.reserve(0, 1);
     }
 
@@ -143,16 +240,57 @@ mod tests {
     fn releasing_unheld_resource_panics() {
         let mut tl = ResourceTimelines::new(1);
         tl.enqueue(0, 0);
+        tl.seal();
         tl.release(0, 0, 1.0);
     }
 
     #[test]
+    #[should_panic(expected = "enqueue after seal")]
+    fn enqueue_after_seal_panics() {
+        let mut tl = ResourceTimelines::new(1);
+        tl.seal();
+        tl.enqueue(0, 0);
+    }
+
+    #[test]
     fn free_at_starts_at_zero() {
-        let tl = ResourceTimelines::new(3);
+        let mut tl = ResourceTimelines::new(3);
+        tl.seal();
         for r in 0..3 {
             assert_eq!(tl.free_at(r), 0.0);
             assert_eq!(tl.head(r), None);
             assert_eq!(tl.holder(r), None);
         }
+    }
+
+    #[test]
+    fn pass_through_pops_and_stamps_like_reserve_release() {
+        let mut tl = ResourceTimelines::new(1);
+        tl.enqueue(0, 0);
+        tl.enqueue(0, 1);
+        tl.seal();
+        assert_eq!(tl.pass_through(0, 0, 3.5), Some(1));
+        assert_eq!(tl.free_at(0), 3.5);
+        assert_eq!(tl.holder(0), None);
+        assert_eq!(tl.pass_through(0, 1, 7.0), None);
+        assert_eq!(tl.free_at(0), 7.0);
+    }
+
+    #[test]
+    fn seal_groups_interleaved_claims_in_program_order() {
+        let mut tl = ResourceTimelines::new(3);
+        // Claims interleaved across resources, as the bind pass emits
+        // them: each queue must come out in program order.
+        for (r, i) in [(2, 0), (0, 1), (2, 1), (1, 2), (0, 3), (2, 4)] {
+            tl.enqueue(r, i);
+        }
+        tl.seal();
+        assert_eq!(tl.head(0), Some(1));
+        assert_eq!(tl.head(1), Some(2));
+        assert_eq!(tl.head(2), Some(0));
+        tl.reserve(2, 0);
+        assert_eq!(tl.release(2, 0, 1.0), Some(1));
+        tl.reserve(2, 1);
+        assert_eq!(tl.release(2, 1, 2.0), Some(4));
     }
 }

@@ -1,0 +1,286 @@
+//! Vendored minimal stand-in for the crates.io `fixedbitset` crate.
+//!
+//! The container is offline, so — like `serde`, `criterion` and the
+//! other `vendor/` crates — this implements just the subset of the real
+//! API the workspace uses, with identical signatures and semantics, so
+//! swapping `[workspace.dependencies]` to the crates.io version is a
+//! drop-in change. The hot loops use it as a *busy-map*: one bit per
+//! resource (trap, scheduling slot, DES resource), set while held.
+//!
+//! Implemented subset: `with_capacity`, `grow`, `len`, `insert`,
+//! `remove`, `set`, `put`, `contains`, `clear`, `count_ones(..)`,
+//! `is_clear`, `ones()`.
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+const BITS: usize = usize::BITS as usize;
+
+/// A simple fixed-size bitset backed by a flat `Vec<usize>` of blocks.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct FixedBitSet {
+    blocks: Vec<usize>,
+    /// Logical length in bits (capacity).
+    length: usize,
+}
+
+impl FixedBitSet {
+    /// Creates an empty bitset able to hold `bits` bits, all zero.
+    pub fn with_capacity(bits: usize) -> Self {
+        FixedBitSet {
+            blocks: vec![0; bits.div_ceil(BITS)],
+            length: bits,
+        }
+    }
+
+    /// Grows the set to `bits` bits if it is smaller, preserving
+    /// contents; never shrinks.
+    pub fn grow(&mut self, bits: usize) {
+        if bits > self.length {
+            self.length = bits;
+            self.blocks.resize(bits.div_ceil(BITS), 0);
+        }
+    }
+
+    /// Capacity in bits.
+    pub fn len(&self) -> usize {
+        self.length
+    }
+
+    /// `true` if the capacity is zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.length == 0
+    }
+
+    /// `true` if no bit is set.
+    pub fn is_clear(&self) -> bool {
+        self.blocks.iter().all(|&b| b == 0)
+    }
+
+    #[inline]
+    fn index(&self, bit: usize) -> (usize, usize) {
+        assert!(bit < self.length, "bit {bit} out of range {}", self.length);
+        (bit / BITS, bit % BITS)
+    }
+
+    /// Sets `bit` to one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit` is out of range.
+    #[inline]
+    pub fn insert(&mut self, bit: usize) {
+        let (block, shift) = self.index(bit);
+        self.blocks[block] |= 1 << shift;
+    }
+
+    /// Sets `bit` to zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit` is out of range.
+    #[inline]
+    pub fn remove(&mut self, bit: usize) {
+        let (block, shift) = self.index(bit);
+        self.blocks[block] &= !(1 << shift);
+    }
+
+    /// Sets `bit` to one and returns its previous value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit` is out of range.
+    #[inline]
+    pub fn put(&mut self, bit: usize) -> bool {
+        let (block, shift) = self.index(bit);
+        let was = self.blocks[block] & (1 << shift) != 0;
+        self.blocks[block] |= 1 << shift;
+        was
+    }
+
+    /// Sets `bit` to `enabled`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bit` is out of range.
+    #[inline]
+    pub fn set(&mut self, bit: usize, enabled: bool) {
+        if enabled {
+            self.insert(bit);
+        } else {
+            self.remove(bit);
+        }
+    }
+
+    /// `true` if `bit` is set. Out-of-range bits read as zero (matching
+    /// the real crate).
+    #[inline]
+    pub fn contains(&self, bit: usize) -> bool {
+        bit < self.length && self.blocks[bit / BITS] & (1 << (bit % BITS)) != 0
+    }
+
+    /// Clears every bit.
+    pub fn clear(&mut self) {
+        for b in &mut self.blocks {
+            *b = 0;
+        }
+    }
+
+    /// Number of set bits in `range` (the workspace only uses the full
+    /// range, `..`).
+    pub fn count_ones(&self, _range: std::ops::RangeFull) -> usize {
+        self.blocks.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// Iterator over the indices of set bits, ascending.
+    pub fn ones(&self) -> Ones<'_> {
+        Ones {
+            set: self,
+            block: 0,
+            current: self.blocks.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Smallest set bit at or above `from`, if any. Not part of the
+    /// crates.io API (which spells it `ones().next()` after masking) —
+    /// the monotone ready-set cursor uses this directly to skip whole
+    /// zero blocks.
+    pub fn min_one_from(&self, from: usize) -> Option<usize> {
+        if from >= self.length {
+            return None;
+        }
+        let mut block = from / BITS;
+        // Mask off bits below `from` in the first block.
+        let mut bits = self.blocks[block] & (usize::MAX << (from % BITS));
+        loop {
+            if bits != 0 {
+                return Some(block * BITS + bits.trailing_zeros() as usize);
+            }
+            block += 1;
+            if block >= self.blocks.len() {
+                return None;
+            }
+            bits = self.blocks[block];
+        }
+    }
+}
+
+impl fmt::Debug for FixedBitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.ones()).finish()
+    }
+}
+
+/// Iterator over set bits, ascending. See [`FixedBitSet::ones`].
+pub struct Ones<'a> {
+    set: &'a FixedBitSet,
+    block: usize,
+    current: usize,
+}
+
+impl Iterator for Ones<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        while self.current == 0 {
+            self.block += 1;
+            if self.block >= self.set.blocks.len() {
+                return None;
+            }
+            self.current = self.set.blocks[self.block];
+        }
+        let bit = self.current.trailing_zeros() as usize;
+        self.current &= self.current - 1;
+        Some(self.block * BITS + bit)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove_roundtrip() {
+        let mut s = FixedBitSet::with_capacity(200);
+        assert!(s.is_clear());
+        for bit in [0, 1, 63, 64, 65, 127, 128, 199] {
+            assert!(!s.contains(bit));
+            s.insert(bit);
+            assert!(s.contains(bit));
+        }
+        assert_eq!(s.count_ones(..), 8);
+        s.remove(64);
+        assert!(!s.contains(64));
+        assert_eq!(s.count_ones(..), 7);
+        s.clear();
+        assert!(s.is_clear());
+    }
+
+    #[test]
+    fn put_reports_previous_value() {
+        let mut s = FixedBitSet::with_capacity(10);
+        assert!(!s.put(3));
+        assert!(s.put(3));
+    }
+
+    #[test]
+    fn set_toggles() {
+        let mut s = FixedBitSet::with_capacity(10);
+        s.set(5, true);
+        assert!(s.contains(5));
+        s.set(5, false);
+        assert!(!s.contains(5));
+    }
+
+    #[test]
+    fn ones_iterates_ascending_across_blocks() {
+        let mut s = FixedBitSet::with_capacity(300);
+        let bits = [2, 63, 64, 130, 256, 299];
+        for &b in &bits {
+            s.insert(b);
+        }
+        assert_eq!(s.ones().collect::<Vec<_>>(), bits);
+    }
+
+    #[test]
+    fn min_one_from_scans_forward() {
+        let mut s = FixedBitSet::with_capacity(300);
+        for b in [5, 70, 200] {
+            s.insert(b);
+        }
+        assert_eq!(s.min_one_from(0), Some(5));
+        assert_eq!(s.min_one_from(5), Some(5));
+        assert_eq!(s.min_one_from(6), Some(70));
+        assert_eq!(s.min_one_from(71), Some(200));
+        assert_eq!(s.min_one_from(201), None);
+        assert_eq!(s.min_one_from(4000), None);
+    }
+
+    #[test]
+    fn grow_preserves_contents() {
+        let mut s = FixedBitSet::with_capacity(10);
+        s.insert(9);
+        s.grow(500);
+        assert_eq!(s.len(), 500);
+        assert!(s.contains(9));
+        assert!(!s.contains(499));
+        s.insert(499);
+        assert!(s.contains(499));
+        // Never shrinks.
+        s.grow(5);
+        assert_eq!(s.len(), 500);
+    }
+
+    #[test]
+    fn out_of_range_contains_is_false() {
+        let s = FixedBitSet::with_capacity(8);
+        assert!(!s.contains(9999));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_insert_panics() {
+        FixedBitSet::with_capacity(8).insert(8);
+    }
+}
