@@ -302,6 +302,7 @@ impl HarnessArgs {
             verbose: true,
             shard: self.shard,
             kernel: self.kernel.unwrap_or_default(),
+            ..EngineOptions::default()
         })
     }
 

@@ -61,6 +61,7 @@ pub mod error;
 pub mod executable;
 pub mod lowering;
 pub mod mapping;
+pub mod memo;
 pub mod passes;
 pub mod policy;
 pub mod state;
@@ -73,6 +74,7 @@ pub use config::{
 pub use error::CompileError;
 pub use executable::{Executable, Inst, OpCounts};
 pub use mapping::{initial_map, Placement};
+pub use memo::{content_digest, CompileMemo, CompileMemoRef, StageCounters, StagePersist};
 pub use passes::{Pipeline, TrapBusyMap, UsesTable};
 pub use policy::{EvictionPolicy, MappingPolicy, ReorderPolicy, RoutingPolicy};
 pub use state::MachineState;

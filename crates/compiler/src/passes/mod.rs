@@ -24,6 +24,7 @@ use crate::config::CompilerConfig;
 use crate::error::CompileError;
 use crate::executable::{Executable, Inst};
 use crate::lowering::lower_two_qubit;
+use crate::memo::{CompileMemo, CompileMemoRef};
 use crate::policy::{
     Congestion, EvictionPolicy, EvictionQuery, MappingPolicy, ReorderPolicy, RouteQuery,
     RoutingPolicy,
@@ -203,13 +204,62 @@ impl Pipeline {
     /// Returns a [`CompileError`] if the circuit is invalid, the device
     /// lacks capacity for the program, or routing is impossible.
     pub fn compile(&self, circuit: &Circuit, device: &Device) -> Result<Executable, CompileError> {
+        self.compile_with(circuit, device, None)
+    }
+
+    /// Compiles `circuit` for `device`, reusing (and feeding) the
+    /// incremental stage memo when one is given: the initial placement
+    /// is served from the memo's content-keyed store, the static route
+    /// cache is the memo's pre-warmed one, and congestion-aware routing
+    /// episodes are memoized across compilations. With `memo == None`
+    /// this is exactly [`Pipeline::compile`]; with a memo the output is
+    /// bit-identical (pinned by the `incremental_memo` differential
+    /// suite).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CompileError`] if the circuit is invalid, the device
+    /// lacks capacity for the program, or routing is impossible.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the memo was built for `device`.
+    pub fn compile_with<'d>(
+        &self,
+        circuit: &Circuit,
+        device: &'d Device,
+        memo: Option<CompileMemoRef<'d>>,
+    ) -> Result<Executable, CompileError> {
         circuit.validate()?;
-        let placement = self.mapping.place(circuit, device, self.buffer_slots)?;
+        if let Some(m) = memo {
+            debug_assert!(
+                std::ptr::eq(m.memo().device(), device),
+                "stage memo was built for a different device"
+            );
+        }
+        let placement = match memo {
+            Some(m) => m.memo().placement(
+                circuit,
+                m.circuit_digest(),
+                &*self.mapping,
+                self.buffer_slots,
+            )?,
+            None => self.mapping.place(circuit, device, self.buffer_slots)?,
+        };
         let st = MachineState::new(&placement);
         let busy = TrapBusyMap::new(device, &st);
+        let owned_routes;
+        let routes: &RouteCache<'_> = match memo {
+            Some(m) => m.memo().routes(),
+            None => {
+                owned_routes = RouteCache::new(device);
+                &owned_routes
+            }
+        };
         let mut ctx = Ctx {
             device,
-            routes: RouteCache::new(device),
+            routes,
+            memo: memo.map(|m| m.memo()),
             congestion: Congestion::new(device),
             routing: &*self.routing,
             reorder: &*self.reorder,
@@ -259,7 +309,8 @@ impl Pipeline {
 /// In-flight compilation state threaded through the scheduling pass.
 struct Ctx<'a> {
     device: &'a Device,
-    routes: RouteCache<'a>,
+    routes: &'a RouteCache<'a>,
+    memo: Option<&'a CompileMemo<'a>>,
     congestion: Congestion,
     routing: &'a dyn RoutingPolicy,
     reorder: &'a dyn ReorderPolicy,
@@ -315,18 +366,15 @@ impl Ctx<'_> {
             if src == dest {
                 return Ok(());
             }
-            let route = self.routing.next_route(&RouteQuery::new(
-                self.device,
-                &self.routes,
-                &self.congestion,
-                src,
-                dest,
-            ))?;
+            let route = self.routing.next_route(
+                &RouteQuery::new(self.device, self.routes, &self.congestion, src, dest)
+                    .with_memo(self.memo),
+            )?;
             let leg = route.legs()[0].clone();
             if leg.to == dest && self.busy.is_full(dest) {
                 let pick = self.eviction.pick(&EvictionQuery::new(
                     self.device,
-                    &self.routes,
+                    self.routes,
                     &self.st,
                     &self.uses,
                     self.current_op,
@@ -408,6 +456,32 @@ mod tests {
         let via_fn = compile(&c, &d, &config).unwrap();
         let via_pipeline = Pipeline::from_config(&config).compile(&c, &d).unwrap();
         assert_eq!(via_fn, via_pipeline);
+    }
+
+    #[test]
+    fn compile_with_memo_matches_cold_compile() {
+        use crate::config::RoutingKind;
+        use crate::memo::{CompileMemo, CompileMemoRef};
+        let c = generators::random_circuit(24, 200, 0.4, 5);
+        let d = presets::l6(8);
+        let memo = CompileMemo::new(&d);
+        for config in [
+            CompilerConfig::default(),
+            CompilerConfig::with_routing(RoutingKind::LookaheadCongestion),
+        ] {
+            let p = Pipeline::from_config(&config);
+            let cold = p.compile(&c, &d).unwrap();
+            let memo_ref = CompileMemoRef::for_circuit(&memo, &c);
+            // Cold memo pass, then a warm pass that hits every stage.
+            assert_eq!(p.compile_with(&c, &d, Some(memo_ref)).unwrap(), cold);
+            assert_eq!(p.compile_with(&c, &d, Some(memo_ref)).unwrap(), cold);
+        }
+        let counters = memo.counters();
+        assert_eq!(
+            counters.placement_misses, 1,
+            "both configs share RR placement"
+        );
+        assert_eq!(counters.placement_hits, 3);
     }
 
     #[test]

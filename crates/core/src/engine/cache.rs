@@ -293,6 +293,112 @@ impl ResultCache {
     }
 }
 
+/// Version salt embedded in every stage-memo file so a future change
+/// to the on-disk envelope can invalidate old entries wholesale.
+const STAGE_FILE_VERSION: &str = "qccd-stage-file-v1";
+
+/// The directory under a result-cache dir that holds stage-memo files.
+pub(crate) const STAGE_SUBDIR: &str = "stages";
+
+/// The serialized envelope of one stage-memo file. Kind and key are
+/// stored inside the file too, so a renamed or mis-hashed file is
+/// rejected rather than mis-served (the payload itself is opaque to
+/// this layer — [`qccd_compiler::CompileMemo`] validates it again on
+/// load).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct StageEntry {
+    kind: String,
+    key: String,
+    version: String,
+    payload: String,
+}
+
+/// On-disk persistence for compile-stage memos: one JSON file per
+/// stage entry (`<cache-dir>/stages/<kind>-<key>.json`), written with
+/// the same atomic temp-file + rename protocol as result entries, so a
+/// re-invoked sweep warm-starts its route rows and placements across
+/// processes. Stage keys already hash the full upstream content (see
+/// [`qccd_compiler::CompileMemo`]), so an entry can never be served
+/// for a different device, circuit, or policy; corrupt or mismatched
+/// files read as misses and are overwritten.
+///
+/// [`ResultCache::gc`] never descends into the stages directory (it
+/// skips non-files), so sweeping results leaves warm stages intact;
+/// deleting the directory is always safe and merely costs the next
+/// run a cold start.
+#[derive(Debug, Clone)]
+pub struct StageCache {
+    dir: PathBuf,
+}
+
+impl StageCache {
+    /// Opens (creating if needed) the stage directory.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error if the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<StageCache> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(StageCache { dir })
+    }
+
+    /// The stage directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn path_of(&self, kind: &str, key: u64) -> PathBuf {
+        self.dir.join(format!("{kind}-{key:016x}.json"))
+    }
+
+    /// Number of stage files currently on disk (diagnostics/tests).
+    pub fn len(&self) -> usize {
+        std::fs::read_dir(&self.dir)
+            .map(|entries| {
+                entries
+                    .filter_map(Result::ok)
+                    .filter(|e| {
+                        e.file_name()
+                            .to_str()
+                            .and_then(|name| name.strip_suffix(".json"))
+                            .is_some_and(is_entry_stem)
+                    })
+                    .count()
+            })
+            .unwrap_or(0)
+    }
+
+    /// Whether the stage directory holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl qccd_compiler::StagePersist for StageCache {
+    fn load(&self, kind: &str, key: u64) -> Option<String> {
+        let text = std::fs::read_to_string(self.path_of(kind, key)).ok()?;
+        let entry: StageEntry = serde_json::from_str(&text).ok()?;
+        (entry.kind == kind
+            && entry.key == format!("{key:016x}")
+            && entry.version == STAGE_FILE_VERSION)
+            .then_some(entry.payload)
+    }
+
+    fn store(&self, kind: &str, key: u64, payload: &str) {
+        let entry = StageEntry {
+            kind: kind.to_owned(),
+            key: format!("{key:016x}"),
+            version: STAGE_FILE_VERSION.to_owned(),
+            payload: payload.to_owned(),
+        };
+        let text = serde_json::to_string(&entry).expect("stage entries serialize");
+        // Best-effort like ResultCache::store: an unwritable stage dir
+        // degrades to recomputation, never a failed run.
+        let _ = write_atomic(&self.path_of(kind, key), &text);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::super::grid::JobGrid;
@@ -474,6 +580,77 @@ mod tests {
         assert_eq!(cache.load(&ids[3]), Some(Err("e3".into())));
         // A cap at/above the entry count removes nothing.
         assert_eq!(cache.gc(Some(2)).unwrap().removed(), 0);
+        let _ = std::fs::remove_dir_all(cache.dir());
+    }
+
+    #[test]
+    fn stage_cache_round_trips_and_rejects_mismatches() {
+        use qccd_compiler::StagePersist;
+        let dir = std::env::temp_dir().join(format!("qccd-stage-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let stages = StageCache::open(&dir).unwrap();
+        assert!(stages.is_empty());
+        assert_eq!(stages.load("placement", 7), None, "fresh cache misses");
+
+        stages.store("placement", 7, "[1,2,3]");
+        assert_eq!(stages.load("placement", 7), Some("[1,2,3]".to_owned()));
+        assert_eq!(stages.len(), 1);
+        // The wrong kind or key never serves the entry.
+        assert_eq!(stages.load("route-row", 7), None);
+        assert_eq!(stages.load("placement", 8), None);
+
+        // Overwrites land atomically; no temp files remain.
+        stages.store("placement", 7, "[4]");
+        assert_eq!(stages.load("placement", 7), Some("[4]".to_owned()));
+        let names: Vec<String> = std::fs::read_dir(stages.dir())
+            .unwrap()
+            .map(|e| e.unwrap().file_name().to_string_lossy().into_owned())
+            .collect();
+        assert_eq!(names, vec!["placement-0000000000000007.json".to_owned()]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stage_cache_treats_corrupt_and_stale_files_as_misses() {
+        use qccd_compiler::StagePersist;
+        let dir = std::env::temp_dir().join(format!("qccd-stage-corrupt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let stages = StageCache::open(&dir).unwrap();
+        let path = stages.dir().join("placement-0000000000000001.json");
+        std::fs::write(&path, "{ truncated").unwrap();
+        assert_eq!(stages.load("placement", 1), None);
+        // A file whose embedded kind/key disagrees with its name, or
+        // whose version salt is stale, is rejected too.
+        std::fs::write(
+            &path,
+            r#"{"kind": "route-row", "key": "0000000000000001", "version": "qccd-stage-file-v1", "payload": "x"}"#,
+        )
+        .unwrap();
+        assert_eq!(stages.load("placement", 1), None);
+        std::fs::write(
+            &path,
+            r#"{"kind": "placement", "key": "0000000000000001", "version": "qccd-stage-file-v0", "payload": "x"}"#,
+        )
+        .unwrap();
+        assert_eq!(stages.load("placement", 1), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn result_gc_leaves_the_stage_subdirectory_alone() {
+        use qccd_compiler::StagePersist;
+        let cache = temp_cache("gc-stages");
+        let id = one_job_id();
+        cache.store(&id, &Err("e".into()));
+        let stages = StageCache::open(cache.dir().join(STAGE_SUBDIR)).unwrap();
+        stages.store("route-row", 3, "[]");
+        let stats = cache.gc(Some(0)).unwrap();
+        assert_eq!(stats.kept, 0, "the result entry is evicted by the cap");
+        assert_eq!(
+            stages.load("route-row", 3),
+            Some("[]".to_owned()),
+            "stage files survive a result-cache sweep"
+        );
         let _ = std::fs::remove_dir_all(cache.dir());
     }
 

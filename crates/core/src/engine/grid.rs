@@ -109,6 +109,16 @@ pub struct JobGrid {
     jobs: Vec<Job>,
     /// Flat cell index (circuit-major, model-minor) → job index.
     cells: Vec<usize>,
+    /// Per-circuit content digests (FNV-1a over the serialized form) —
+    /// the same value [`qccd_compiler::content_digest`] computes, so
+    /// the engine can key compile-stage memos without re-serializing
+    /// circuits per job.
+    c_digests: Vec<u64>,
+    /// How many circuits were actually constructed (parsed/generated)
+    /// to build this grid. Defaults to the circuit-axis length;
+    /// [`ExperimentSpec::expand`](super::ExperimentSpec::expand)
+    /// overrides it with the deduplicated count.
+    parses: usize,
     /// Simulation kernel pinned by the originating spec, if any.
     /// Deliberately *not* part of the job ids: both kernels produce
     /// identical reports, so cached outcomes are shared across kernels.
@@ -186,6 +196,7 @@ impl JobGrid {
                 }
             }
         }
+        let parses = circuits.len();
         JobGrid {
             circuits,
             devices,
@@ -193,6 +204,8 @@ impl JobGrid {
             models,
             jobs,
             cells,
+            c_digests,
+            parses,
             kernel: None,
         }
     }
@@ -208,6 +221,33 @@ impl JobGrid {
     /// The kernel pinned on this grid, if any.
     pub fn kernel(&self) -> Option<SimKernel> {
         self.kernel
+    }
+
+    /// Records how many circuits were actually constructed (parsed or
+    /// generated) while building this grid — the circuit-axis length by
+    /// default, less when duplicate axis entries were resolved once.
+    pub fn with_parses(mut self, parses: usize) -> JobGrid {
+        self.parses = parses;
+        self
+    }
+
+    /// Number of circuit constructions behind this grid (reported as
+    /// [`RunStats::parses`](super::RunStats::parses)).
+    pub fn parses(&self) -> usize {
+        self.parses
+    }
+
+    /// Content digest of a circuit-axis entry: FNV-1a 64 over its
+    /// serialized form, identical to
+    /// [`qccd_compiler::content_digest`] of the same circuit. The
+    /// engine passes this to the compile-stage memo so placement stage
+    /// keys are computed once per circuit, not once per job.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `circuit` is out of range for the circuit axis.
+    pub fn circuit_digest(&self, circuit: usize) -> u64 {
+        self.c_digests[circuit]
     }
 
     /// The circuit axis.
@@ -411,6 +451,28 @@ mod tests {
         );
         assert_eq!(grid.cell_count(), 0);
         assert_eq!(grid.job_count(), 0);
+    }
+
+    #[test]
+    fn circuit_digests_match_the_compiler_content_digest() {
+        // The stage memo keys placements by qccd_compiler::content_digest;
+        // the grid precomputes the same FNV-1a-over-JSON value, so the
+        // two must never drift apart.
+        let grid = tiny_grid();
+        for (ci, circuit) in grid.circuits().iter().enumerate() {
+            assert_eq!(
+                grid.circuit_digest(ci),
+                qccd_compiler::content_digest(circuit),
+                "digest of circuit {ci} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn parses_defaults_to_the_circuit_axis_length() {
+        let grid = tiny_grid();
+        assert_eq!(grid.parses(), grid.circuits().len());
+        assert_eq!(grid.clone().with_parses(1).parses(), 1);
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub mod grid;
 pub mod sink;
 pub mod spec;
 
-pub use cache::{GcStats, ResultCache};
+pub use cache::{GcStats, ResultCache, StageCache};
 pub use grid::{GridResults, Job, JobGrid, JobId, JobOutcome};
 pub use sink::{Artifact, ArtifactSink, CsvSink, JsonSink};
 pub use spec::{
@@ -59,10 +59,13 @@ pub use spec::{
 
 use crate::experiments::{ablations, fig6, fig7, fig8, table1, table2, Table};
 use crate::sweep::parallel_map;
-use crate::toolflow::Toolflow;
+use crate::toolflow::{Toolflow, ToolflowError};
+use cache::STAGE_SUBDIR;
+use qccd_compiler::{CompileMemo, CompileMemoRef, Executable, Pipeline, StagePersist};
 use std::fmt;
 use std::path::PathBuf;
 use std::str::FromStr;
+use std::sync::{Arc, OnceLock};
 
 /// One slice of a deterministic shard partition: an engine configured
 /// with shard `index` of `count` executes only the jobs whose id hashes
@@ -132,7 +135,7 @@ impl FromStr for Shard {
 }
 
 /// Execution knobs for an [`Engine`].
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct EngineOptions {
     /// Directory of the on-disk result cache; `None` disables caching.
     pub cache_dir: Option<PathBuf>,
@@ -152,6 +155,29 @@ pub struct EngineOptions {
     /// outcomes are shared across kernels and the job ids do not encode
     /// the choice.
     pub kernel: qccd_sim::SimKernel,
+    /// Share compile stages (route rows, placements, routing episodes)
+    /// across the jobs of a run through a per-device
+    /// [`qccd_compiler::CompileMemo`], and — when
+    /// [`EngineOptions::cache_dir`] is set — persist them under
+    /// `<cache-dir>/stages/` so a re-invoked sweep warm-starts across
+    /// processes. Memoized compiles are bit-identical to cold ones
+    /// (the stage memo only reuses pure functions of its keys), so
+    /// this is on by default; turning it off exists for A/B timing
+    /// and debugging.
+    pub stage_memo: bool,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            cache_dir: None,
+            batch_size: 0,
+            verbose: false,
+            shard: None,
+            kernel: qccd_sim::SimKernel::default(),
+            stage_memo: true,
+        }
+    }
 }
 
 /// Default number of jobs per execution batch.
@@ -173,14 +199,41 @@ pub struct RunStats {
     /// Compilations performed (jobs differing only in physical model
     /// share one).
     pub compiles: usize,
+    /// Circuits constructed (parsed or generated) for the grid — each
+    /// distinct circuit-axis entry once, however many jobs share it.
+    pub parses: usize,
+    /// Placement stages served from the stage memo (in-memory or
+    /// persisted) instead of recomputed.
+    pub placement_hits: u64,
+    /// Placement stages computed cold this run.
+    pub placement_misses: u64,
+    /// Route stages (dense route rows and congestion-window routing
+    /// episodes) served from the stage memo.
+    pub route_hits: u64,
+    /// Route stages computed cold this run.
+    pub route_misses: u64,
 }
 
 impl RunStats {
     /// One-line human-readable summary (`executed N of M jobs, …`).
+    /// Stage counters render as `hits/total` so reuse is observable at
+    /// a glance; totals are zero when the stage memo is disabled or
+    /// nothing compiled.
     pub fn summary(&self) -> String {
         format!(
-            "executed {} of {} jobs ({} cached, {} skipped, {} compiles, {} batches)",
-            self.executed, self.jobs, self.cached, self.skipped, self.compiles, self.batches
+            "executed {} of {} jobs ({} cached, {} skipped, {} compiles, {} batches, \
+             {} parses, {}/{} placement hits, {}/{} route hits)",
+            self.executed,
+            self.jobs,
+            self.cached,
+            self.skipped,
+            self.compiles,
+            self.batches,
+            self.parses,
+            self.placement_hits,
+            self.placement_hits + self.placement_misses,
+            self.route_hits,
+            self.route_hits + self.route_misses,
         )
     }
 }
@@ -308,8 +361,34 @@ impl Engine {
             }
         }
 
+        stats.parses = grid.parses();
         let kernel = grid.kernel().unwrap_or(self.options.kernel);
         let pending: Vec<usize> = (0..jobs.len()).filter(|&i| outcomes[i].is_none()).collect();
+
+        // One compile-stage memo per device, initialized lazily by the
+        // first group that compiles on it and shared by every circuit
+        // and config of the run: route rows, placements, and routing
+        // episodes are computed once per stage key, not once per job.
+        // With a cache directory, stages also persist under
+        // `<cache-dir>/stages/` so the next process warm-starts.
+        let stage_persist: Option<Arc<dyn StagePersist>> = match (&cache, self.options.stage_memo) {
+            (Some(cache), true) => StageCache::open(cache.dir().join(STAGE_SUBDIR))
+                .map_err(|e| {
+                    eprintln!(
+                        "engine: stage directory under {} unusable ({e}); \
+                         stages stay in-memory only",
+                        cache.dir().display()
+                    );
+                })
+                .ok()
+                .map(|s| Arc::new(s) as Arc<dyn StagePersist>),
+            _ => None,
+        };
+        let memos: Vec<OnceLock<CompileMemo<'_>>> = if self.options.stage_memo {
+            (0..grid.devices().len()).map(|_| OnceLock::new()).collect()
+        } else {
+            Vec::new()
+        };
         let batch_size = if self.options.batch_size == 0 {
             DEFAULT_BATCH_SIZE
         } else {
@@ -337,11 +416,35 @@ impl Engine {
                     let circuit = &grid.circuits()[lead.circuit];
                     let device = &grid.devices()[lead.device];
                     let config = grid.configs()[lead.config];
-                    let toolflow =
-                        Toolflow::with_config(device.clone(), grid.models()[lead.model], config)
-                            .with_kernel(kernel);
-                    match toolflow.compile(circuit) {
-                        Err(e) => members.iter().map(|&ji| (ji, Err(e.to_string()))).collect(),
+                    // The memoized path compiles through the pipeline
+                    // directly; errors are wrapped the same way
+                    // Toolflow::compile wraps them so the persisted
+                    // outcome text is identical either way.
+                    let compiled: Result<Executable, String> = match memos.get(lead.device) {
+                        Some(slot) => {
+                            let memo = slot.get_or_init(|| {
+                                CompileMemo::with_persist(device, stage_persist.clone())
+                            });
+                            Pipeline::from_config(&config)
+                                .compile_with(
+                                    circuit,
+                                    device,
+                                    Some(CompileMemoRef::new(
+                                        memo,
+                                        grid.circuit_digest(lead.circuit),
+                                    )),
+                                )
+                                .map_err(|e| ToolflowError::from(e).to_string())
+                        }
+                        None => {
+                            Toolflow::with_config(device.clone(), grid.models()[lead.model], config)
+                                .with_kernel(kernel)
+                                .compile(circuit)
+                                .map_err(|e| e.to_string())
+                        }
+                    };
+                    match compiled {
+                        Err(e) => members.iter().map(|&ji| (ji, Err(e.clone()))).collect(),
                         Ok(exe) => members
                             .iter()
                             .map(|&ji| {
@@ -378,6 +481,14 @@ impl Engine {
                     stats.skipped,
                 );
             }
+        }
+
+        for memo in memos.iter().filter_map(OnceLock::get) {
+            let counters = memo.counters();
+            stats.placement_hits += counters.placement_hits;
+            stats.placement_misses += counters.placement_misses;
+            stats.route_hits += counters.route_hits;
+            stats.route_misses += counters.route_misses;
         }
 
         let outcomes: Vec<JobOutcome> = outcomes
@@ -423,6 +534,7 @@ impl Engine {
         let stats = RunStats {
             jobs: jobs.len(),
             cached: jobs.len(),
+            parses: grid.parses(),
             ..RunStats::default()
         };
         Ok(EngineRun {
@@ -763,6 +875,139 @@ mod tests {
             order,
             vec![(5, vec![5, 2, 0]), (4, vec![4, 1]), (3, vec![3]),]
         );
+    }
+
+    #[test]
+    fn summary_reports_stage_counters() {
+        let stats = RunStats {
+            jobs: 4,
+            executed: 2,
+            cached: 1,
+            skipped: 1,
+            batches: 1,
+            compiles: 2,
+            parses: 3,
+            placement_hits: 5,
+            placement_misses: 2,
+            route_hits: 7,
+            route_misses: 3,
+        };
+        assert_eq!(
+            stats.summary(),
+            "executed 2 of 4 jobs (1 cached, 1 skipped, 2 compiles, 1 batches, \
+             3 parses, 5/7 placement hits, 7/10 route hits)"
+        );
+        // The CLI contracts grep these two shapes out of stderr; they
+        // must survive summary format changes.
+        let warm = RunStats {
+            jobs: 2,
+            cached: 1,
+            skipped: 1,
+            ..RunStats::default()
+        };
+        assert!(
+            warm.summary().starts_with("executed 0 of"),
+            "{}",
+            warm.summary()
+        );
+        assert!(
+            warm.summary().contains("(1 cached, 1 skipped"),
+            "{}",
+            warm.summary()
+        );
+    }
+
+    #[test]
+    fn stage_memo_is_bit_identical_and_counts_reuse() {
+        // Two configs sharing the mapping stage: the second compile
+        // group reuses the first group's placement, and outcomes are
+        // identical to a memo-free run.
+        let grid = JobGrid::from_axes(
+            vec![generators::bv(&[true; 8])],
+            vec![presets::l6(8)],
+            vec![
+                CompilerConfig::default(),
+                CompilerConfig {
+                    eviction: qccd_compiler::EvictionKind::ChainEnd,
+                    ..CompilerConfig::default()
+                },
+            ],
+            vec![PhysicalModel::default()],
+        );
+        // One-job batches run the two compile groups sequentially, so
+        // the hit/miss counts below are deterministic (two groups
+        // racing in one batch could both miss the same key).
+        let memoized = Engine::with_options(EngineOptions {
+            batch_size: 1,
+            ..EngineOptions::default()
+        })
+        .run(&grid);
+        let cold = Engine::with_options(EngineOptions {
+            stage_memo: false,
+            ..EngineOptions::default()
+        })
+        .run(&grid);
+        assert_eq!(
+            memoized.results.job_outcomes(),
+            cold.results.job_outcomes(),
+            "stage-memoized outcomes must be bit-identical to cold ones"
+        );
+        assert_eq!(memoized.stats.compiles, 2);
+        assert_eq!(
+            memoized.stats.placement_misses, 1,
+            "one distinct placement stage"
+        );
+        assert_eq!(
+            memoized.stats.placement_hits, 1,
+            "the second config reuses it"
+        );
+        // Warming the device's route cache computes one row per trap.
+        assert_eq!(memoized.stats.route_misses, 6);
+        assert_eq!(memoized.stats.parses, 1);
+        // The memo-free engine reports all-zero stage counters.
+        assert_eq!(cold.stats.placement_hits + cold.stats.placement_misses, 0);
+        assert_eq!(cold.stats.route_hits + cold.stats.route_misses, 0);
+    }
+
+    #[test]
+    fn persisted_stages_warm_start_the_next_process() {
+        let dir = temp_dir("stage-warm");
+        let options = EngineOptions {
+            cache_dir: Some(dir.clone()),
+            ..EngineOptions::default()
+        };
+        let grid = |model| {
+            JobGrid::from_axes(
+                vec![generators::bv(&[true; 8])],
+                vec![presets::l6(8)],
+                vec![CompilerConfig::default()],
+                vec![model],
+            )
+        };
+        // Cold run: every stage misses, and the stage files land next
+        // to the result entries.
+        let first = Engine::with_options(options.clone()).run(&grid(PhysicalModel::default()));
+        assert_eq!(first.stats.placement_misses, 1);
+        assert_eq!(first.stats.route_misses, 6);
+        assert_eq!(first.stats.placement_hits + first.stats.route_hits, 0);
+        let stages = StageCache::open(dir.join(STAGE_SUBDIR)).unwrap();
+        assert_eq!(stages.len(), 7, "6 route rows + 1 placement persisted");
+
+        // A different model is a different job (result-cache miss), but
+        // every compile stage warm-starts from disk — as a re-invoked
+        // sweep with one edited axis would.
+        let second =
+            Engine::with_options(options).run(&grid(PhysicalModel::with_gate(GateImpl::Am1)));
+        assert_eq!(
+            second.stats.cached, 0,
+            "new job id: the result cache misses"
+        );
+        assert_eq!(second.stats.executed, 1);
+        assert_eq!(second.stats.placement_hits, 1);
+        assert_eq!(second.stats.placement_misses, 0);
+        assert_eq!(second.stats.route_hits, 6);
+        assert_eq!(second.stats.route_misses, 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -763,11 +763,25 @@ impl ExperimentSpec {
     ///
     /// Propagates resolution failures from the axis specs.
     pub fn expand(&self) -> Result<JobGrid, SpecError> {
-        let circuits = self
-            .circuits
-            .iter()
-            .map(CircuitSpec::resolve)
-            .collect::<Result<Vec<_>, _>>()?;
+        // Resolve each *distinct* circuit spec once — parsing a QASM
+        // benchmark is itself hundreds of microseconds, so duplicate
+        // axis entries (and re-expansions) clone instead of re-parsing.
+        // A sorted Vec keyed by the spec's serialized form keeps the
+        // dedup deterministic; the axis keeps its declared shape.
+        let mut resolved: Vec<(String, Circuit)> = Vec::new();
+        let mut circuits = Vec::with_capacity(self.circuits.len());
+        for c in &self.circuits {
+            let key = serde_json::to_string(c).expect("circuit specs serialize");
+            match resolved.binary_search_by(|(k, _)| k.as_str().cmp(&key)) {
+                Ok(pos) => circuits.push(resolved[pos].1.clone()),
+                Err(pos) => {
+                    let circuit = c.resolve()?;
+                    resolved.insert(pos, (key, circuit.clone()));
+                    circuits.push(circuit);
+                }
+            }
+        }
+        let parses = resolved.len();
         let mut devices = Vec::new();
         for d in &self.devices {
             devices.extend(d.expand(&self.capacities)?);
@@ -779,7 +793,9 @@ impl ExperimentSpec {
             .iter()
             .map(ModelSpec::resolve)
             .collect::<Result<Vec<_>, _>>()?;
-        Ok(JobGrid::from_axes(circuits, devices, configs, models).with_kernel(self.kernel))
+        Ok(JobGrid::from_axes(circuits, devices, configs, models)
+            .with_kernel(self.kernel)
+            .with_parses(parses))
     }
 
     // ------------------------------------------------------------------
@@ -1315,6 +1331,47 @@ mod tests {
         let swept = spec.expand(&[6, 9]).unwrap();
         assert_eq!(swept.len(), 2);
         assert_eq!(swept[1].max_trap_capacity(), 9);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn duplicate_circuit_entries_resolve_once() {
+        let circuit = generators_qaoa_as_qasm();
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("qccd-spec-dedup-{}.qasm", std::process::id()));
+        std::fs::write(&path, &circuit).unwrap();
+        let qasm = CircuitSpec::Qasm {
+            path: path.display().to_string(),
+        };
+        let spec = ExperimentSpec {
+            name: "dedup".into(),
+            projection: Projection::Cells,
+            circuits: vec![
+                qasm.clone(),
+                qasm.clone(),
+                CircuitSpec::Benchmark(Benchmark::Bv),
+            ],
+            capacities: vec![],
+            devices: vec![DeviceSpec::Preset {
+                family: "l6".into(),
+                capacity: Some(20),
+            }],
+            configs: vec![ConfigSpec::Config(CompilerConfig::default())],
+            models: vec![ModelSpec::Default],
+            kernel: None,
+        };
+        let grid = spec.expand().unwrap();
+        // The axis keeps its declared shape; only the parse work dedups.
+        assert_eq!(grid.circuits().len(), 3);
+        assert_eq!(grid.parses(), 2, "two distinct specs behind three entries");
+        assert_eq!(
+            serde_json::to_string(&grid.circuits()[0]).unwrap(),
+            serde_json::to_string(&grid.circuits()[1]).unwrap(),
+            "duplicate entries resolve to the identical circuit"
+        );
+        // The engine surfaces the counter verbatim.
+        let run = crate::engine::Engine::new().run(&grid);
+        assert_eq!(run.stats.parses, 2);
         let _ = std::fs::remove_file(&path);
     }
 

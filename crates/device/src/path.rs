@@ -453,6 +453,68 @@ impl<'d> RouteCache<'d> {
         }
     }
 
+    /// A serializable snapshot of one computed row: `Some(route)` per
+    /// reachable destination, `None` where routing failed. Returns
+    /// `None` if the row has not been computed yet.
+    ///
+    /// [`RouteError`] has exactly two variants and both are implied by
+    /// position — the diagonal is always [`RouteError::SameTrap`] and
+    /// any other failure is [`RouteError::Unreachable`] — so the
+    /// `Option` encoding loses nothing: [`RouteCache::preload`]
+    /// reconstructs the errors exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is out of range for this device.
+    pub fn snapshot(&self, from: TrapId) -> Option<Vec<Option<Route>>> {
+        assert!(
+            from.index() < self.device.trap_count(),
+            "unknown trap {from}"
+        );
+        self.rows[from.index()]
+            .get()
+            .map(|row| row.iter().map(|r| r.as_ref().ok().cloned()).collect())
+    }
+
+    /// Installs a previously [`RouteCache::snapshot`]ted row for `from`
+    /// without running Dijkstra, reconstructing the positional errors
+    /// (`None` on the diagonal → [`RouteError::SameTrap`], elsewhere →
+    /// [`RouteError::Unreachable`]).
+    ///
+    /// Returns `true` if the row was installed; `false` (leaving the
+    /// cache untouched, to be filled by Dijkstra later) if the row was
+    /// already computed or the snapshot does not fit this device — wrong
+    /// length, a route on the diagonal, or endpoint ids that disagree
+    /// with their position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `from` is out of range for this device.
+    pub fn preload(&self, from: TrapId, row: Vec<Option<Route>>) -> bool {
+        let n = self.device.trap_count();
+        assert!(from.index() < n, "unknown trap {from}");
+        if row.len() != n {
+            return false;
+        }
+        let consistent = row.iter().enumerate().all(|(i, r)| match r {
+            Some(r) => r.from() == from && r.to() == TrapId(i as u32) && i != from.index(),
+            None => true,
+        });
+        if !consistent {
+            return false;
+        }
+        let rebuilt: RouteRow = row
+            .into_iter()
+            .enumerate()
+            .map(|(i, r)| match r {
+                Some(r) => Ok(r),
+                None if i == from.index() => Err(RouteError::SameTrap(from)),
+                None => Err(RouteError::Unreachable(from, TrapId(i as u32))),
+            })
+            .collect();
+        self.rows[from.index()].set(rebuilt).is_ok()
+    }
+
     /// The cheapest route from `from` to `to`. The first query from
     /// any source computes that source's whole row in one batched
     /// Dijkstra pass; later queries are lookups. Identical to
@@ -692,6 +754,55 @@ mod tests {
             cache.route(TrapId(2), TrapId(2)),
             Err(RouteError::SameTrap(TrapId(2)))
         );
+    }
+
+    #[test]
+    fn snapshot_preload_roundtrip_is_exact() {
+        for d in [presets::l6(15), presets::g2x3(15)] {
+            let cold = RouteCache::new(&d);
+            cold.warm();
+            let warmed = RouteCache::new(&d);
+            for a in d.trap_ids() {
+                let snap = cold.snapshot(a).expect("warmed row");
+                assert!(warmed.preload(a, snap), "row {a} should install");
+            }
+            for a in d.trap_ids() {
+                for b in d.trap_ids() {
+                    assert_eq!(cold.route(a, b), warmed.route(a, b), "{a}->{b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_of_uncomputed_row_is_none() {
+        let d = presets::l6(15);
+        let cache = RouteCache::new(&d);
+        assert_eq!(cache.snapshot(TrapId(0)), None);
+        cache.route(TrapId(0), TrapId(1)).unwrap();
+        assert!(cache.snapshot(TrapId(0)).is_some());
+        assert_eq!(cache.snapshot(TrapId(3)), None);
+    }
+
+    #[test]
+    fn preload_rejects_misfit_rows() {
+        let d = presets::l6(15);
+        let cache = RouteCache::new(&d);
+        // Wrong length.
+        assert!(!cache.preload(TrapId(0), vec![None; 3]));
+        // A route sitting at the wrong position.
+        let misplaced = d.route(TrapId(0), TrapId(2)).unwrap();
+        let mut row: Vec<Option<Route>> = vec![None; d.trap_count()];
+        row[1] = Some(misplaced);
+        assert!(!cache.preload(TrapId(0), row));
+        // A rejected preload leaves the row free for Dijkstra.
+        assert_eq!(
+            cache.route(TrapId(0), TrapId(1)).cloned(),
+            d.route(TrapId(0), TrapId(1))
+        );
+        // An already-computed row cannot be overwritten.
+        let snap = cache.snapshot(TrapId(0)).unwrap();
+        assert!(!cache.preload(TrapId(0), snap));
     }
 
     #[test]

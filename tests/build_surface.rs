@@ -92,7 +92,15 @@ fn target_inventory_is_complete() {
             "qccd-bench binary `{bin}` missing from cargo metadata"
         );
     }
-    for bench in ["toolflow", "compiler", "figures", "engine", "des_kernel"] {
+    for bench in [
+        "toolflow",
+        "compiler",
+        "figures",
+        "engine",
+        "des_kernel",
+        "flat_structures",
+        "incremental",
+    ] {
         let needle = format!("benches/{bench}.rs");
         assert!(
             metadata.contains(&needle),

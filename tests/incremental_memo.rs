@@ -1,0 +1,147 @@
+//! Differential suite for the incremental-compilation layer: memoized
+//! warm compiles must be byte-identical to cold compiles across the
+//! full device × circuit × 16-policy matrix, at the pipeline level and
+//! through the engine (stage memo on vs. off, in-memory and via the
+//! on-disk stage cache).
+
+use qccd::engine::{Engine, EngineOptions, JobGrid, StageCache};
+use qccd::sweep::policy_grid;
+use qccd_circuit::{generators, Circuit};
+use qccd_compiler::{CompileMemo, CompileMemoRef, Pipeline, StagePersist};
+use qccd_device::{presets, Device};
+use qccd_physics::PhysicalModel;
+use std::sync::Arc;
+
+fn devices() -> Vec<Device> {
+    vec![presets::l6(8), presets::g2x3(8)]
+}
+
+fn circuits() -> Vec<Circuit> {
+    vec![generators::bv(&[true; 8]), generators::qaoa(10, 1, 2)]
+}
+
+/// The tentpole contract: for every (device, circuit, policy) cell of
+/// the 16-policy matrix, a cold compile, a first memoized compile
+/// (filling the stages), and a second memoized compile (serving them)
+/// produce byte-identical executables.
+#[test]
+fn memoized_compiles_are_byte_identical_across_the_policy_matrix() {
+    for device in &devices() {
+        let memo = CompileMemo::new(device);
+        for circuit in &circuits() {
+            let memo_ref = CompileMemoRef::for_circuit(&memo, circuit);
+            for config in policy_grid(2) {
+                let pipeline = Pipeline::from_config(&config);
+                let cold = pipeline.compile(circuit, device).unwrap();
+                let filling = pipeline
+                    .compile_with(circuit, device, Some(memo_ref))
+                    .unwrap();
+                let warm = pipeline
+                    .compile_with(circuit, device, Some(memo_ref))
+                    .unwrap();
+                let cold_bytes = serde_json::to_string(&cold).unwrap();
+                for (label, exe) in [("stage-filling", &filling), ("warm", &warm)] {
+                    assert_eq!(
+                        cold_bytes,
+                        serde_json::to_string(exe).unwrap(),
+                        "{label} compile diverged for {} on {} with {}",
+                        circuit.name(),
+                        device.name(),
+                        config.policy_label(),
+                    );
+                }
+            }
+        }
+        let counters = memo.counters();
+        assert!(
+            counters.placement_hits > 0 && counters.route_misses > 0,
+            "the matrix must actually exercise the memo: {counters:?}"
+        );
+    }
+}
+
+/// The same contract one layer up: an engine run with the stage memo
+/// (the default) produces bit-identical outcomes to one without it,
+/// over the full matrix as one grid.
+#[test]
+fn engine_stage_memo_matches_memo_free_run_over_the_matrix() {
+    let grid = JobGrid::from_axes(
+        circuits(),
+        devices(),
+        policy_grid(2),
+        vec![PhysicalModel::default()],
+    );
+    assert_eq!(grid.job_count(), 2 * 2 * 16);
+    let memoized = Engine::new().run(&grid);
+    let memo_free = Engine::with_options(EngineOptions {
+        stage_memo: false,
+        ..EngineOptions::default()
+    })
+    .run(&grid);
+    assert_eq!(
+        memoized.results.job_outcomes(),
+        memo_free.results.job_outcomes(),
+        "stage-memoized outcomes diverged from the memo-free engine"
+    );
+    assert!(
+        memoized.stats.placement_hits > 0,
+        "{}",
+        memoized.stats.summary()
+    );
+    assert_eq!(
+        memo_free.stats.placement_hits + memo_free.stats.placement_misses,
+        0
+    );
+}
+
+/// Cross-process warm start: compiles through a fresh memo backed by
+/// the stage files of a previous engine run are byte-identical to cold
+/// compiles, and serve every placement and route row from disk.
+#[test]
+fn disk_warmed_compiles_are_byte_identical() {
+    let dir = std::env::temp_dir().join(format!("qccd-incr-disk-warm-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let device = presets::l6(8);
+    let circuit = generators::bv(&[true; 8]);
+    let grid = JobGrid::from_axes(
+        vec![circuit.clone()],
+        vec![device.clone()],
+        policy_grid(2),
+        vec![PhysicalModel::default()],
+    );
+    Engine::with_options(EngineOptions {
+        cache_dir: Some(dir.clone()),
+        ..EngineOptions::default()
+    })
+    .run(&grid);
+
+    // A second process: fresh memo, same stage directory.
+    let stages: Arc<dyn StagePersist> = Arc::new(StageCache::open(dir.join("stages")).unwrap());
+    let memo = CompileMemo::with_persist(&device, Some(stages));
+    let memo_ref = CompileMemoRef::for_circuit(&memo, &circuit);
+    assert_eq!(
+        memo.counters().route_misses,
+        0,
+        "every route row preloads from disk"
+    );
+    for config in policy_grid(2) {
+        let pipeline = Pipeline::from_config(&config);
+        let cold = pipeline.compile(&circuit, &device).unwrap();
+        let warm = pipeline
+            .compile_with(&circuit, &device, Some(memo_ref))
+            .unwrap();
+        assert_eq!(
+            serde_json::to_string(&cold).unwrap(),
+            serde_json::to_string(&warm).unwrap(),
+            "disk-warmed compile diverged with {}",
+            config.policy_label(),
+        );
+    }
+    assert_eq!(
+        memo.counters().placement_misses,
+        0,
+        "every placement stage loads from the previous run: {:?}",
+        memo.counters()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
