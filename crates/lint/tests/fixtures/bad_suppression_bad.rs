@@ -1,0 +1,7 @@
+// qccd-lint: allow(hash-iteration)
+use std::collections::HashMap;
+
+// qccd-lint: allow(no-such-rule) — the rule id does not exist
+pub fn noop() -> Option<HashMap<u32, u32>> {
+    None
+}

@@ -1,0 +1,6 @@
+// qccd-lint: allow(hash-iteration) — fixture demonstrating a reasoned standalone allow.
+use std::collections::HashMap;
+
+pub fn noop() -> Option<HashMap<u32, u32>> { // qccd-lint: allow(hash-iteration) — trailing style.
+    None
+}

@@ -1,0 +1,3 @@
+pub fn sort_by_time(xs: &mut [(u32, f64)]) {
+    xs.sort_by(|a, b| a.1.total_cmp(&b.1));
+}

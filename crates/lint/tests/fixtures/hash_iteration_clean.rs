@@ -1,0 +1,7 @@
+pub fn tally(xs: &[u32], n: usize) -> Vec<u32> {
+    let mut counts = vec![0u32; n];
+    for &x in xs {
+        counts[x as usize] += 1;
+    }
+    counts
+}

@@ -1,0 +1,11 @@
+pub fn head(xs: &[u32]) -> Option<u32> {
+    xs.first().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_test_code_is_fine() {
+        assert_eq!(super::head(&[7]).unwrap(), 7);
+    }
+}

@@ -1,0 +1,4 @@
+pub fn nan_aware(a: f64, b: f64) -> bool {
+    // qccd-lint: allow(float-ordering) — exercising NaN comparison deliberately.
+    a.partial_cmp(&b).is_none()
+}

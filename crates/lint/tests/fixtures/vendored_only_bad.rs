@@ -1,0 +1,5 @@
+use tokio::runtime::Runtime;
+
+extern crate rayon;
+
+pub fn spawn_all(_rt: Runtime) {}

@@ -1,0 +1,68 @@
+//! Meta-test: the live workspace is lint-clean.
+//!
+//! No deny-tier diagnostic may fire on the tree as committed. Because
+//! `bad-suppression` is deny-tier, this single assertion also proves
+//! every inline `allow` carries its mandatory reason; the
+//! `unused-suppression` check proves no allow has gone stale.
+
+use std::path::Path;
+
+use qccd_lint::{lint_workspace, Severity};
+
+fn repo_root() -> &'static Path {
+    // crates/lint/ -> workspace root.
+    Path::new(concat!(env!("CARGO_MANIFEST_DIR"), "/../.."))
+}
+
+#[test]
+fn live_workspace_is_deny_clean_with_reasoned_allows() {
+    let report = lint_workspace(repo_root()).expect("workspace walk");
+    assert!(
+        report.files.len() > 80,
+        "walker found implausibly few files ({}) — skip list too broad?",
+        report.files.len()
+    );
+    let deny: Vec<String> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.severity == Severity::Deny)
+        .map(|d| d.render())
+        .collect();
+    assert!(
+        deny.is_empty(),
+        "deny-tier diagnostics in the live workspace:\n{}",
+        deny.join("\n")
+    );
+    let stale: Vec<String> = report
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "unused-suppression")
+        .map(|d| d.render())
+        .collect();
+    assert!(
+        stale.is_empty(),
+        "stale allow comments in the live workspace:\n{}",
+        stale.join("\n")
+    );
+}
+
+#[test]
+fn walker_skips_fixtures_and_vendor() {
+    let report = lint_workspace(repo_root()).expect("workspace walk");
+    assert!(
+        report.files.iter().any(|f| f == "crates/lint/src/lib.rs"),
+        "the linter lints itself"
+    );
+    assert!(
+        !report.files.iter().any(|f| f.contains("/fixtures/")),
+        "fixture violations must not leak into the live pass"
+    );
+    assert!(
+        !report.files.iter().any(|f| f.starts_with("vendor/")),
+        "vendored stand-ins are not ours to lint"
+    );
+    assert!(
+        !report.files.iter().any(|f| f.starts_with("target/")),
+        "build outputs are not linted"
+    );
+}

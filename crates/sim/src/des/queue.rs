@@ -81,6 +81,8 @@ impl PartialEq for HeapEntry {
 impl Eq for HeapEntry {}
 
 impl PartialOrd for HeapEntry {
+    // qccd-lint: allow(float-ordering) — trait plumbing that forwards to the
+    // `Ord` impl below, which already compares time via `total_cmp`.
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
         Some(self.cmp(other))
     }

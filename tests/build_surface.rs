@@ -61,6 +61,23 @@ fn all_examples_and_bench_binaries_compile() {
 }
 
 #[test]
+fn lint_binary_passes_on_the_workspace() {
+    // The same invocation CI's "Static analysis" step runs: the
+    // committed tree must stay deny-clean through the real binary (the
+    // crate's own tests cover the library entry points).
+    let out = cargo()
+        .args(["run", "-p", "qccd-lint", "--offline", "--quiet"])
+        .output()
+        .expect("cargo run -p qccd-lint runs");
+    assert!(
+        out.status.success(),
+        "qccd-lint found deny-tier diagnostics:\n{}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}
+
+#[test]
 fn target_inventory_is_complete() {
     // `cargo metadata` enumerates every auto-discovered target without
     // compiling; this catches renamed/removed files that would silently
@@ -92,6 +109,11 @@ fn target_inventory_is_complete() {
             "qccd-bench binary `{bin}` missing from cargo metadata"
         );
     }
+    // The static-analysis pass CI runs (`cargo run -p qccd-lint`).
+    assert!(
+        metadata.contains("lint/src/main.rs"),
+        "qccd-lint binary missing from cargo metadata"
+    );
     for bench in [
         "toolflow",
         "compiler",
