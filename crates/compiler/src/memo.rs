@@ -78,6 +78,7 @@ pub fn fnv1a(bytes: &[u8]) -> u64 {
 pub fn content_digest<T: Serialize>(value: &T) -> u64 {
     fnv1a(
         serde_json::to_string(value)
+            // qccd-lint: allow(engine-panic, panic-discipline) — serializing plain data structs cannot fail
             .expect("stage inputs serialize")
             .as_bytes(),
     )
@@ -312,6 +313,7 @@ impl<'d> CompileMemo<'d> {
             } else {
                 self.route_misses.fetch_add(1, Ordering::Relaxed);
                 if let Some(persist) = &self.persist {
+                    // qccd-lint: allow(engine-panic, panic-discipline) — routes are warmed for every source trap before placement runs
                     let snapshot = self.routes.snapshot(from).expect("warmed row");
                     if let Ok(payload) = serde_json::to_string(&snapshot) {
                         persist.store(ROUTE_ROW_KIND, self.route_row_key(from), &payload);
@@ -343,6 +345,7 @@ impl<'d> CompileMemo<'d> {
         let key = self.placement_key(circuit_digest, mapping.name(), buffer_slots);
         loop {
             let (slot, claimed) = {
+                // qccd-lint: allow(engine-panic, panic-discipline) — a poisoned lock means another worker thread already panicked; aborting the sweep is correct
                 let mut store = self.placements.lock().expect("memo lock");
                 match store.binary_search_by_key(&key, |(k, _)| *k) {
                     Ok(pos) => (store[pos].1.clone(), false),
@@ -357,8 +360,10 @@ impl<'d> CompileMemo<'d> {
             if claimed {
                 return self.fill_claim(key, &slot, circuit, mapping, buffer_slots);
             }
+            // qccd-lint: allow(engine-panic, panic-discipline) — a poisoned lock means another worker thread already panicked; aborting the sweep is correct
             let mut state = slot.0.lock().expect("memo slot lock");
             while matches!(*state, SlotState::InFlight) {
+                // qccd-lint: allow(engine-panic, panic-discipline) — a poisoned lock means another worker thread already panicked; aborting the sweep is correct
                 state = slot.1.wait(state).expect("memo slot lock");
             }
             if let SlotState::Ready(placement) = &*state {
@@ -393,14 +398,14 @@ impl<'d> CompileMemo<'d> {
                 if self.resolved {
                     return;
                 }
-                let mut store = self.memo.placements.lock().expect("memo lock");
+                let mut store = self.memo.placements.lock().expect("memo lock"); // qccd-lint: allow(panic-discipline) — TODO(triage): justify this panic or propagate the error
                 if let Ok(pos) = store.binary_search_by_key(&self.key, |(k, _)| *k) {
                     if Arc::ptr_eq(&store[pos].1, self.slot) {
                         store.remove(pos);
                     }
                 }
                 drop(store);
-                *self.slot.0.lock().expect("memo slot lock") = SlotState::Failed;
+                *self.slot.0.lock().expect("memo slot lock") = SlotState::Failed; // qccd-lint: allow(panic-discipline) — TODO(triage): justify this panic or propagate the error
                 self.slot.1.notify_all();
             }
         }
@@ -432,6 +437,7 @@ impl<'d> CompileMemo<'d> {
             }
         };
         claim.resolved = true;
+        // qccd-lint: allow(engine-panic, panic-discipline) — a poisoned lock means another worker thread already panicked; aborting the sweep is correct
         *slot.0.lock().expect("memo slot lock") = SlotState::Ready(placement.clone());
         slot.1.notify_all();
         Ok(placement)
@@ -440,6 +446,7 @@ impl<'d> CompileMemo<'d> {
     /// The memoized route for an [`CompileMemo::episode_key`], counting
     /// a route hit when present.
     pub fn episode(&self, key: u64) -> Option<Route> {
+        // qccd-lint: allow(engine-panic, panic-discipline) — a poisoned lock means another worker thread already panicked; aborting the sweep is correct
         let store = self.episodes.lock().expect("memo lock");
         match store.binary_search_by_key(&key, |(k, _)| *k) {
             Ok(pos) => {
@@ -453,6 +460,7 @@ impl<'d> CompileMemo<'d> {
     /// Records a freshly-computed routing episode (a route miss).
     pub fn record_episode(&self, key: u64, route: &Route) {
         self.route_misses.fetch_add(1, Ordering::Relaxed);
+        // qccd-lint: allow(engine-panic, panic-discipline) — a poisoned lock means another worker thread already panicked; aborting the sweep is correct
         let mut store = self.episodes.lock().expect("memo lock");
         if let Err(pos) = store.binary_search_by_key(&key, |(k, _)| *k) {
             store.insert(pos, (key, route.clone()));

@@ -111,6 +111,8 @@ pub struct GcStats {
     /// Entries removed for a stale version salt, a mismatched embedded
     /// id, or unparseable content.
     pub removed_stale: usize,
+    /// Valid entries removed for exceeding the age limit.
+    pub removed_aged: usize,
     /// Valid entries removed (oldest first) to enforce the entry cap.
     pub removed_excess: usize,
     /// Orphaned temp files swept (writers killed mid-store).
@@ -120,16 +122,17 @@ pub struct GcStats {
 impl GcStats {
     /// Total files removed by the sweep.
     pub fn removed(&self) -> usize {
-        self.removed_stale + self.removed_excess + self.removed_temp
+        self.removed_stale + self.removed_aged + self.removed_excess + self.removed_temp
     }
 
     /// One-line human-readable summary.
     pub fn summary(&self) -> String {
         format!(
-            "kept {} entries, removed {} ({} stale, {} over the entry cap, {} orphaned temp files)",
+            "kept {} entries, removed {} ({} stale, {} aged out, {} over the entry cap, {} orphaned temp files)",
             self.kept,
             self.removed(),
             self.removed_stale,
+            self.removed_aged,
             self.removed_excess,
             self.removed_temp
         )
@@ -190,6 +193,7 @@ impl ResultCache {
             ok: outcome.as_ref().ok().cloned(),
             err: outcome.as_ref().err().cloned(),
         };
+        // qccd-lint: allow(engine-panic, panic-discipline) — serializing plain data structs cannot fail
         let text = serde_json::to_string(&entry).expect("cache entries serialize");
         let _ = write_atomic(&self.path_of(id), &text);
     }
@@ -238,7 +242,7 @@ impl ResultCache {
     /// Returns the underlying error if the directory cannot be listed;
     /// individual file removals are best-effort.
     pub fn gc(&self, max_entries: Option<usize>) -> io::Result<GcStats> {
-        gc_sweep(&self.dir, max_entries, |stem, text| {
+        gc_sweep(&self.dir, max_entries, None, |stem, text| {
             serde_json::from_str::<CacheEntry>(text)
                 .ok()
                 .is_some_and(|e| e.version == JOB_ID_VERSION && e.id == stem)
@@ -249,13 +253,15 @@ impl ResultCache {
 /// The shared eviction sweep behind [`ResultCache::gc`] and
 /// [`StageCache::gc`]: walks `dir` (non-recursively), removes orphaned
 /// temp files and well-formed entries that `is_current` rejects
-/// (stale salt, corrupt content, name/content mismatch), then — when
-/// `max_entries` is given — removes the oldest surviving entries (by
-/// modification time) until at most that many remain. Files not shaped
-/// like cache entries are never touched.
+/// (stale salt, corrupt content, name/content mismatch), then removes
+/// valid entries older than `max_age` (by modification time), then —
+/// when `max_entries` is given — removes the oldest surviving entries
+/// until at most that many remain. Files not shaped like cache
+/// entries are never touched.
 fn gc_sweep(
     dir: &Path,
     max_entries: Option<usize>,
+    max_age: Option<std::time::Duration>,
     is_current: impl Fn(&str, &str) -> bool,
 ) -> io::Result<GcStats> {
     let mut stats = GcStats::default();
@@ -298,6 +304,19 @@ fn gc_sweep(
         } else if std::fs::remove_file(&path).is_ok() {
             stats.removed_stale += 1;
         }
+    }
+    if let Some(max_age) = max_age {
+        // The allowlisted wall-clock read: eviction policy only —
+        // entry *content* never depends on it.
+        let now = std::time::SystemTime::now();
+        kept.retain(|(modified, path)| {
+            let aged = now.duration_since(*modified).is_ok_and(|age| age > max_age);
+            if aged && std::fs::remove_file(path).is_ok() {
+                stats.removed_aged += 1;
+                return false;
+            }
+            true
+        });
     }
     if let Some(max) = max_entries {
         if kept.len() > max {
@@ -398,18 +417,24 @@ impl StageCache {
     /// Garbage-collects the stage directory with the same sweep as
     /// [`ResultCache::gc`]: orphaned temp files go, files whose
     /// embedded kind/key disagree with their name or whose
-    /// version salt predates the current stage-file version go, and —
-    /// when `max_entries` is given — the oldest valid stage files (by
-    /// modification time) are evicted until at most that many remain.
-    /// Foreign files are never touched. An evicted stage is not a
-    /// correctness event: the next run recomputes and re-persists it.
+    /// version salt predates the current stage-file version go; when
+    /// `max_age` is given, valid stage files not touched for longer
+    /// than that are evicted; and — when `max_entries` is given — the
+    /// oldest valid stage files (by modification time) are evicted
+    /// until at most that many remain. Foreign files are never
+    /// touched. An evicted stage is not a correctness event: the next
+    /// run recomputes and re-persists it.
     ///
     /// # Errors
     ///
     /// Returns the underlying error if the directory cannot be listed;
     /// individual file removals are best-effort.
-    pub fn gc(&self, max_entries: Option<usize>) -> io::Result<GcStats> {
-        gc_sweep(&self.dir, max_entries, |stem, text| {
+    pub fn gc(
+        &self,
+        max_entries: Option<usize>,
+        max_age: Option<std::time::Duration>,
+    ) -> io::Result<GcStats> {
+        gc_sweep(&self.dir, max_entries, max_age, |stem, text| {
             serde_json::from_str::<StageEntry>(text)
                 .ok()
                 .is_some_and(|e| {
@@ -436,6 +461,7 @@ impl qccd_compiler::StagePersist for StageCache {
             version: STAGE_FILE_VERSION.to_owned(),
             payload: payload.to_owned(),
         };
+        // qccd-lint: allow(engine-panic, panic-discipline) — serializing plain data structs cannot fail
         let text = serde_json::to_string(&entry).expect("stage entries serialize");
         // Best-effort like ResultCache::store: an unwritable stage dir
         // degrades to recomputation, never a failed run.
@@ -714,7 +740,7 @@ mod tests {
         std::fs::write(stages.dir().join("notes.json"), "{}").unwrap();
         std::fs::write(stages.dir().join("README.md"), "hi").unwrap();
 
-        let stats = stages.gc(Some(2)).unwrap();
+        let stats = stages.gc(Some(2), None).unwrap();
         assert_eq!(stats.kept, 2);
         assert_eq!(stats.removed_stale, 2);
         assert_eq!(stats.removed_temp, 1);
@@ -730,7 +756,38 @@ mod tests {
         );
         assert!(stages.dir().join("README.md").exists(), "foreign file kept");
         // A cap at/above the entry count removes nothing further.
-        assert_eq!(stages.gc(Some(2)).unwrap().removed(), 0);
+        assert_eq!(stages.gc(Some(2), None).unwrap().removed(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn stage_gc_evicts_entries_over_the_age_limit() {
+        use qccd_compiler::StagePersist;
+        let dir = std::env::temp_dir().join(format!("qccd-stage-age-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let stages = StageCache::open(&dir).unwrap();
+        stages.store("route-row", 1, "[old]");
+        std::thread::sleep(std::time::Duration::from_millis(400));
+        stages.store("route-row", 2, "[new]");
+
+        // Only the entry older than the limit is aged out; the recent
+        // one survives even though no entry cap is set.
+        let stats = stages
+            .gc(None, Some(std::time::Duration::from_millis(200)))
+            .unwrap();
+        assert_eq!(stats.removed_aged, 1, "{stats:?}");
+        assert_eq!(stats.kept, 1);
+        assert_eq!(stages.load("route-row", 1), None);
+        assert_eq!(stages.load("route-row", 2), Some("[new]".to_owned()));
+
+        // No age limit: repeated sweeps are no-ops.
+        assert_eq!(stages.gc(None, None).unwrap().removed(), 0);
+        // A generous limit keeps the survivor.
+        let stats = stages
+            .gc(None, Some(std::time::Duration::from_secs(3600)))
+            .unwrap();
+        assert_eq!(stats.removed_aged, 0);
+        assert_eq!(stats.kept, 1);
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,164 @@
+//! `--fix`: append templated suppression comments for surviving
+//! advisory diagnostics.
+//!
+//! The fix is deliberately boring — it does not rewrite code, it
+//! *triages* it: each advisory line gains
+//!
+//! ```text
+//! // qccd-lint: allow(<rule>) — TODO(triage): <templated reason>
+//! ```
+//!
+//! so the finding stops repeating on every run while staying visible
+//! (and greppable by `TODO(triage)`) until a human replaces the
+//! template with a real justification or fixes the code. Running
+//! `--fix` twice is byte-identical: the appended allow suppresses the
+//! diagnostic, so the second pass sees nothing to annotate — and as a
+//! belt-and-braces guard, a line already carrying a `qccd-lint:`
+//! comment is never touched again.
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::{Diagnostic, LintReport, Severity};
+
+/// Advisory rules `--fix` may annotate, with the templated reason.
+/// `unused-suppression` is deliberately absent: its fix is deleting a
+/// comment, which is a human call, not an append.
+const FIXABLE: &[(&str, &str)] = &[(
+    "panic-discipline",
+    "justify this panic or propagate the error",
+)];
+
+/// What one `--fix` pass did.
+#[derive(Debug, Clone, Default)]
+pub struct FixOutcome {
+    /// Files rewritten, sorted workspace-relative paths.
+    pub edited: Vec<String>,
+    /// Total advisory sites annotated.
+    pub annotated: usize,
+}
+
+/// Returns the templated reason for a fixable rule.
+fn reason_for(rule: &str) -> Option<&'static str> {
+    FIXABLE.iter().find(|(id, _)| *id == rule).map(|(_, r)| *r)
+}
+
+/// Annotates one file's source for the given diagnostics (all
+/// belonging to this file); returns the new content and how many
+/// sites were annotated. Pure, so fixture pairs can pin it exactly.
+pub fn fix_source(source: &str, diags: &[Diagnostic]) -> (String, usize) {
+    // line → sorted unique fixable rules on it.
+    let mut per_line: Vec<(u32, Vec<&'static str>)> = Vec::new();
+    for d in diags {
+        if d.severity != Severity::Advisory {
+            continue;
+        }
+        let Some((id, _)) = FIXABLE.iter().find(|(id, _)| *id == d.rule) else {
+            continue;
+        };
+        match per_line.iter_mut().find(|(l, _)| *l == d.line) {
+            Some((_, rules)) => {
+                if !rules.contains(id) {
+                    rules.push(id);
+                }
+            }
+            None => per_line.push((d.line, vec![id])),
+        }
+    }
+    if per_line.is_empty() {
+        return (source.to_owned(), 0);
+    }
+    for (_, rules) in &mut per_line {
+        rules.sort_unstable();
+    }
+
+    let mut annotated = 0usize;
+    let mut out = String::with_capacity(source.len() + per_line.len() * 64);
+    for (k, line) in source.split('\n').enumerate() {
+        if k > 0 {
+            out.push('\n');
+        }
+        out.push_str(line);
+        let lineno = (k + 1) as u32;
+        let Some((_, rules)) = per_line.iter().find(|(l, _)| *l == lineno) else {
+            continue;
+        };
+        if line.contains("qccd-lint:") {
+            continue;
+        }
+        let reasons: Vec<&str> = rules.iter().filter_map(|r| reason_for(r)).collect();
+        out.push_str(&format!(
+            " // qccd-lint: allow({}) — TODO(triage): {}",
+            rules.join(", "),
+            reasons.join("; ")
+        ));
+        annotated += rules.len();
+    }
+    (out, annotated)
+}
+
+/// Applies [`fix_source`] across a lint report, rewriting files under
+/// `root` in place. Only files with at least one annotation are
+/// written, so a clean tree is untouched (the CI no-op check).
+pub fn apply(root: &Path, report: &LintReport) -> io::Result<FixOutcome> {
+    let mut outcome = FixOutcome::default();
+    let mut by_file: Vec<(&str, Vec<Diagnostic>)> = Vec::new();
+    for d in &report.diagnostics {
+        match by_file.iter_mut().find(|(f, _)| *f == d.file) {
+            Some((_, v)) => v.push(d.clone()),
+            None => by_file.push((&d.file, vec![d.clone()])),
+        }
+    }
+    by_file.sort_by(|a, b| a.0.cmp(b.0));
+    for (file, diags) in by_file {
+        let path = root.join(file);
+        let source = fs::read_to_string(&path)?;
+        let (fixed, annotated) = fix_source(&source, &diags);
+        if annotated > 0 {
+            fs::write(&path, fixed)?;
+            outcome.edited.push(file.to_owned());
+            outcome.annotated += annotated;
+        }
+    }
+    Ok(outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lint_file;
+
+    #[test]
+    fn fix_appends_a_templated_allow_and_is_idempotent() {
+        let src = "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap()\n}\n";
+        let diags = lint_file("crates/circuit/src/fixture.rs", src, &[]);
+        assert_eq!(diags.len(), 1);
+        let (fixed, n) = fix_source(src, &diags);
+        assert_eq!(n, 1);
+        assert_eq!(
+            fixed,
+            "pub fn f(x: Option<u32>) -> u32 {\n    x.unwrap() // qccd-lint: \
+             allow(panic-discipline) — TODO(triage): justify this panic or propagate \
+             the error\n}\n"
+        );
+        // Second pass: the allow suppresses the advisory, nothing to do.
+        let diags2 = lint_file("crates/circuit/src/fixture.rs", &fixed, &[]);
+        assert!(diags2.is_empty(), "{diags2:?}");
+        let (fixed2, n2) = fix_source(&fixed, &diags2);
+        assert_eq!(n2, 0);
+        assert_eq!(fixed, fixed2);
+    }
+
+    #[test]
+    fn fix_never_touches_deny_or_unfixable_advisories() {
+        // A hash-iteration deny and an unused suppression: neither is
+        // `--fix` material.
+        let src = "// qccd-lint: allow(float-ordering) — stale\nuse std::collections::HashMap;\n";
+        let diags = lint_file("crates/sim/src/fixture.rs", src, &[]);
+        assert!(!diags.is_empty());
+        let (fixed, n) = fix_source(src, &diags);
+        assert_eq!(n, 0);
+        assert_eq!(fixed, src);
+    }
+}

@@ -34,13 +34,19 @@
 
 #![warn(missing_docs)]
 
+pub mod fix;
+pub mod graph;
 pub mod lexer;
 mod rules;
 mod suppress;
+mod taint;
 mod walk;
 
 pub use rules::{RuleInfo, AMBIENT_ALLOWLIST, RULES};
-pub use walk::{external_crates, lint_workspace, workspace_files};
+pub use walk::{
+    crate_deps, external_crates, lint_workspace, lint_workspace_graph, load_sources,
+    workspace_files,
+};
 
 /// Diagnostic severity tier.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -146,28 +152,117 @@ pub fn classify(path: &str) -> FileKind {
     }
 }
 
-/// Lints one source file under the given workspace-relative `path`.
+/// One in-memory source file handed to [`lint_sources`].
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators.
+    pub path: String,
+    /// File contents.
+    pub source: String,
+    /// Crate identifier (underscore form) the file belongs to.
+    pub crate_name: String,
+}
+
+/// The crate identifier a workspace-relative path implies when no
+/// manifest is consulted: `crates/<dir>/…` maps to `<dir>` with `-`
+/// normalized to `_`; anything else belongs to the root package.
+pub fn crate_name_of(path: &str) -> String {
+    if let Some(rest) = path.strip_prefix("crates/") {
+        if let Some((dir, _)) = rest.split_once('/') {
+            let ident = dir.replace('-', "_");
+            return if ident == "core" {
+                // The core crate's package is plain `qccd`.
+                "qccd".to_owned()
+            } else {
+                format!("qccd_{ident}")
+            };
+        }
+    }
+    "qccd_suite".to_owned()
+}
+
+/// Lints a set of source files as one workspace: phase 1 runs the
+/// token rules per file, phase 2 builds the module/call graph across
+/// all of them and runs the taint rules (golden-path purity,
+/// sort-stability, engine-panic). Suppressions apply to both phases.
 ///
 /// `external` is the set of crate identifiers (underscore form) that
 /// `vendored-only` accepts beside the language built-ins — normally
-/// the output of [`external_crates`]. The path only has to *look*
-/// right: fixture tests lint in-memory sources under virtual paths
-/// like `crates/sim/src/fixture.rs` to exercise path-scoped rules.
+/// the output of [`external_crates`]. `deps` is the crate dependency
+/// table bounding call resolution (see [`graph::CallGraph::build`]);
+/// pass `&[]` to leave resolution unconstrained.
+pub fn lint_sources(
+    files: &[SourceFile],
+    external: &[String],
+    deps: &[(String, Vec<String>)],
+) -> LintReport {
+    let lexed: Vec<lexer::Lexed> = files.iter().map(|f| lexer::lex(&f.source)).collect();
+    let masks: Vec<Vec<bool>> = lexed.iter().map(|l| rules::test_mask(&l.tokens)).collect();
+
+    // Phase 1: per-file token rules.
+    let mut per_file: Vec<Vec<Diagnostic>> = Vec::with_capacity(files.len());
+    for (f, (l, m)) in files.iter().zip(lexed.iter().zip(masks.iter())) {
+        let ctx = rules::FileCtx {
+            path: &f.path,
+            kind: classify(&f.path),
+            tokens: &l.tokens,
+            in_test: m,
+            external,
+        };
+        per_file.push(rules::run_all(&ctx));
+    }
+
+    // Phase 2: cross-file taint rules over the resolved call graph.
+    let gfiles: Vec<graph::GraphFile> = files
+        .iter()
+        .zip(lexed.iter().zip(masks.iter()))
+        .map(|(f, (l, m))| graph::GraphFile {
+            path: &f.path,
+            crate_name: &f.crate_name,
+            kind: classify(&f.path),
+            tokens: &l.tokens,
+            mask: m,
+        })
+        .collect();
+    let call_graph = graph::CallGraph::build(&gfiles, deps);
+    for d in taint::run(&call_graph) {
+        if let Some(k) = files.iter().position(|f| f.path == d.file) {
+            per_file[k].push(d);
+        }
+    }
+
+    // Suppressions see each file's full two-phase stream.
+    let mut diagnostics = Vec::new();
+    for (f, (l, raw)) in files.iter().zip(lexed.iter().zip(per_file)) {
+        let (mut sups, bad) = suppress::parse(&f.path, &l.comments, &l.tokens);
+        let mut diags = suppress::apply(raw, &mut sups);
+        diags.extend(bad);
+        diags.extend(suppress::unused(&f.path, &sups));
+        diagnostics.extend(diags);
+    }
+    diagnostics
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    let mut file_names: Vec<String> = files.iter().map(|f| f.path.clone()).collect();
+    file_names.sort();
+    LintReport {
+        files: file_names,
+        diagnostics,
+    }
+}
+
+/// Lints one source file under the given workspace-relative `path`.
+///
+/// This is [`lint_sources`] over a single-file workspace: the token
+/// rules run as before, and the taint rules see whatever call graph
+/// one file can carry (fixture tests exercise them by placing sink
+/// and helper in the same file). The path only has to *look* right:
+/// fixture tests lint in-memory sources under virtual paths like
+/// `crates/sim/src/fixture.rs` to exercise path-scoped rules.
 pub fn lint_file(path: &str, source: &str, external: &[String]) -> Vec<Diagnostic> {
-    let lexed = lexer::lex(source);
-    let in_test = rules::test_mask(&lexed.tokens);
-    let ctx = rules::FileCtx {
-        path,
-        kind: classify(path),
-        tokens: &lexed.tokens,
-        in_test: &in_test,
-        external,
-    };
-    let raw = rules::run_all(&ctx);
-    let (mut sups, bad) = suppress::parse(path, &lexed.comments, &lexed.tokens);
-    let mut diags = suppress::apply(raw, &mut sups);
-    diags.extend(bad);
-    diags.extend(suppress::unused(path, &sups));
-    diags.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
-    diags
+    let files = [SourceFile {
+        path: path.to_owned(),
+        source: source.to_owned(),
+        crate_name: crate_name_of(path),
+    }];
+    lint_sources(&files, external, &[]).diagnostics
 }

@@ -12,23 +12,34 @@ use std::process::ExitCode;
 use qccd_lint::{LintReport, Severity};
 
 const USAGE: &str = "\
-usage: qccd-lint [--root DIR] [--json]
+usage: qccd-lint [--root DIR] [--json] [--fix] [--graph-json]
 
 Walks the Rust workspace at DIR (default: current directory), runs the
-determinism & hot-path rules, and prints `file:line:col [rule-id]`
-diagnostics. Exit status is 1 if any deny-tier diagnostic fired,
-0 otherwise. Suppress a finding inline with
-`// qccd-lint: allow(<rule>) — <reason>` (the reason is mandatory).";
+determinism & hot-path rules — phase 1 token rules per file, phase 2
+taint rules over the workspace call graph — and prints
+`file:line:col [rule-id]` diagnostics. Exit status is 1 if any
+deny-tier diagnostic fired, 0 otherwise. Suppress a finding inline
+with `// qccd-lint: allow(<rule>) — <reason>` (the reason is
+mandatory).
+
+    --fix         append `// qccd-lint: allow(…) — TODO(triage): …`
+                  comments for surviving fixable advisories
+                  (idempotent; a clean tree is left untouched)
+    --graph-json  dump the resolved call graph as JSON and exit";
 
 fn main() -> ExitCode {
     let mut root = PathBuf::from(".");
     let mut json = false;
+    let mut fix = false;
+    let mut graph_json = false;
     // A Bin target is exempt from `ambient-nondeterminism`: argv is
     // the program's input, not simulation state.
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--json" => json = true,
+            "--fix" => fix = true,
+            "--graph-json" => graph_json = true,
             "--root" => match args.next() {
                 Some(dir) => root = PathBuf::from(dir),
                 None => {
@@ -55,6 +66,19 @@ fn main() -> ExitCode {
         return ExitCode::from(2);
     }
 
+    if graph_json {
+        match qccd_lint::lint_workspace_graph(&root) {
+            Ok(graph) => {
+                println!("{}", graph.to_json());
+                return ExitCode::SUCCESS;
+            }
+            Err(e) => {
+                eprintln!("qccd-lint: walking {} failed: {e}", root.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
     let report = match qccd_lint::lint_workspace(&root) {
         Ok(report) => report,
         Err(e) => {
@@ -62,6 +86,25 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+
+    if fix {
+        match qccd_lint::fix::apply(&root, &report) {
+            Ok(outcome) => {
+                for file in &outcome.edited {
+                    println!("fixed: {file}");
+                }
+                eprintln!(
+                    "qccd-lint: --fix annotated {} advisory site(s) across {} file(s)",
+                    outcome.annotated,
+                    outcome.edited.len()
+                );
+            }
+            Err(e) => {
+                eprintln!("qccd-lint: --fix failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
 
     if json {
         println!("{}", render_json(&report));

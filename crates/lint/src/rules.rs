@@ -62,6 +62,29 @@ pub const RULES: &[RuleInfo] = &[
         severity: Severity::Advisory,
         summary: "allow comments that matched no diagnostic",
     },
+    RuleInfo {
+        id: "test-mask-hygiene",
+        severity: Severity::Deny,
+        summary: "no use paths reaching into a tests module from library code",
+    },
+    // Phase-2 rules (see `graph`/`taint`): these walk the workspace
+    // call graph, so they only fire from `lint_sources`-based entry
+    // points, never from a single-file token scan alone.
+    RuleInfo {
+        id: "golden-path-purity",
+        severity: Severity::Deny,
+        summary: "no print macros or ambient state reachable from an artifact sink",
+    },
+    RuleInfo {
+        id: "sort-stability",
+        severity: Severity::Deny,
+        summary: "no unstable or partial_cmp-keyed sorts feeding an artifact sink",
+    },
+    RuleInfo {
+        id: "engine-panic",
+        severity: Severity::Deny,
+        summary: "panic-discipline escalated to deny for code reachable from the engine",
+    },
 ];
 
 /// Files exempt from `ambient-nondeterminism`: the cache temp-file
@@ -106,6 +129,7 @@ pub(crate) fn run_all(ctx: &FileCtx) -> Vec<Diagnostic> {
     atomic_write(ctx, &mut out);
     panic_discipline(ctx, &mut out);
     vendored_only(ctx, &mut out);
+    test_mask_hygiene(ctx, &mut out);
     out
 }
 
@@ -251,7 +275,13 @@ fn panic_discipline(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
             _ => continue,
         };
         // Only method calls: `.unwrap(` / `.expect(` — definitions and
-        // idents like `unwrap_or` don't match.
+        // idents like `unwrap_or` don't match. A `self.expect(…)` call
+        // in a file defining its own `fn expect` (the QASM parser's
+        // Result-returning token matcher) is that method, not
+        // `Option::expect` — it propagates, so it is exempt.
+        if self_call_to_local_fn(ctx.tokens, i, id) {
+            continue;
+        }
         if i > 0 && punct_at(ctx.tokens, i - 1, '.') && punct_at(ctx.tokens, i + 1, '(') {
             out.push(ctx.diag(
                 i,
@@ -265,6 +295,20 @@ fn panic_discipline(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
             ));
         }
     }
+}
+
+/// Whether token `i` is the name of a `self.<name>(…)` call in a file
+/// that defines `fn <name>` itself — shadowing the std panicking
+/// method with a local one (shared by `panic-discipline` and the
+/// graph's panic-event collection, so advisory and deny tiers agree).
+pub(crate) fn self_call_to_local_fn(tokens: &[Token], i: usize, name: &str) -> bool {
+    let self_recv = i >= 2
+        && punct_at(tokens, i - 1, '.')
+        && ident_at(tokens, i - 2) == Some("self")
+        && punct_at(tokens, i + 1, '(');
+    self_recv
+        && (0..tokens.len().saturating_sub(1))
+            .any(|k| ident_at(tokens, k) == Some("fn") && ident_at(tokens, k + 1) == Some(name))
 }
 
 const LANG_ROOTS: &[&str] = &[
@@ -330,6 +374,43 @@ fn vendored_only(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
                 }
             }
             _ => {}
+        }
+    }
+}
+
+fn test_mask_hygiene(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    // ROADMAP's *test-mask hygiene*: a `#[cfg(test)]` module importing
+    // from another module's `tests` submodule couples test helpers
+    // across masks — the helper silently becomes shared infrastructure
+    // with no owner. Flagged in library files wherever a `use` path
+    // contains a `tests` segment (outside test code such an import
+    // would not even compile, so the mask needs no consulting).
+    if ctx.kind != FileKind::Lib {
+        return;
+    }
+    for i in 0..ctx.tokens.len() {
+        if ident_at(ctx.tokens, i) != Some("use") {
+            continue;
+        }
+        // Walk the path segments of this declaration up to `;`,
+        // `{`-groups included (segment-by-segment is enough: any
+        // `tests` identifier inside the declaration is a reach-in).
+        let mut j = i + 1;
+        while j < ctx.tokens.len() && !punct_at(ctx.tokens, j, ';') {
+            if ident_at(ctx.tokens, j) == Some("tests") {
+                out.push(
+                    ctx.diag(
+                        j,
+                        "test-mask-hygiene",
+                        Severity::Deny,
+                        "`use` path reaches into a `tests` module: shared test helpers \
+                     must live in a non-test module or a tests/ support file, not be \
+                     borrowed across `#[cfg(test)]` masks"
+                            .to_owned(),
+                    ),
+                );
+            }
+            j += 1;
         }
     }
 }

@@ -10,7 +10,7 @@ use std::fs;
 use std::io;
 use std::path::Path;
 
-use crate::{lint_file, LintReport};
+use crate::{graph, lint_sources, rules, LintReport, SourceFile};
 
 /// Directories never descended into: build outputs, vendored
 /// stand-ins (not ours to lint), VCS/CI metadata, and lint fixtures
@@ -78,6 +78,58 @@ pub fn external_crates(root: &Path) -> io::Result<Vec<String>> {
     Ok(names)
 }
 
+/// Crate-level dependency table: package ident → direct dependency
+/// idents (`[dependencies]`, `[dev-dependencies]` and
+/// `[build-dependencies]` keys, `-` normalized to `_`), for the root
+/// package and everything under `crates/`. The call graph uses it to
+/// refuse edges into crates the caller cannot even name.
+pub fn crate_deps(root: &Path) -> io::Result<Vec<(String, Vec<String>)>> {
+    let mut out = Vec::new();
+    let mut manifests = vec![root.join("Cargo.toml")];
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let mut dirs: Vec<_> = fs::read_dir(&crates_dir)?
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .collect();
+        dirs.sort();
+        manifests.extend(dirs.into_iter().map(|d| d.join("Cargo.toml")));
+    }
+    for manifest in manifests {
+        let Some(name) = package_name(&manifest)? else {
+            continue;
+        };
+        // package_name checked the file exists.
+        let text = fs::read_to_string(&manifest)?;
+        let mut deps = Vec::new();
+        let mut in_deps = false;
+        for line in text.lines() {
+            let line = line.trim();
+            if line.starts_with('[') {
+                in_deps = matches!(
+                    line,
+                    "[dependencies]" | "[dev-dependencies]" | "[build-dependencies]"
+                );
+                continue;
+            }
+            if in_deps {
+                if let Some(key) = line.split(['=', '.']).next() {
+                    let key = key.trim().trim_matches('"');
+                    if !key.is_empty() && !key.starts_with('#') {
+                        deps.push(key.replace('-', "_"));
+                    }
+                }
+            }
+        }
+        deps.sort();
+        deps.dedup();
+        out.push((name, deps));
+    }
+    out.sort();
+    Ok(out)
+}
+
 /// Reads the `[package] name` out of a manifest, `-` normalized to
 /// `_` (the identifier form imports use). Missing files yield `None`.
 fn package_name(manifest: &Path) -> io::Result<Option<String>> {
@@ -106,18 +158,72 @@ fn package_name(manifest: &Path) -> io::Result<Option<String>> {
     Ok(None)
 }
 
-/// Lints every source file in the workspace at `root`.
+/// Reads every lintable source file under `root` into memory, with
+/// its crate identifier resolved from the owning manifest (so the
+/// call graph qualifies names the way imports actually spell them).
+pub fn load_sources(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let root_name = package_name(&root.join("Cargo.toml"))?.unwrap_or_else(|| "crate".to_owned());
+    // dir under crates/ → package ident, resolved lazily per directory.
+    let mut dir_names: Vec<(String, String)> = Vec::new();
+    let files = workspace_files(root)?;
+    let mut out = Vec::with_capacity(files.len());
+    for rel in files {
+        let crate_name = match rel
+            .strip_prefix("crates/")
+            .and_then(|rest| rest.split_once('/'))
+        {
+            Some((dir, _)) => match dir_names.iter().find(|(d, _)| d == dir) {
+                Some((_, name)) => name.clone(),
+                None => {
+                    let manifest = root.join("crates").join(dir).join("Cargo.toml");
+                    let name = package_name(&manifest)?.unwrap_or_else(|| dir.replace('-', "_"));
+                    dir_names.push((dir.to_owned(), name.clone()));
+                    name
+                }
+            },
+            None => root_name.clone(),
+        };
+        let source = fs::read_to_string(root.join(&rel))?;
+        out.push(SourceFile {
+            path: rel,
+            source,
+            crate_name,
+        });
+    }
+    Ok(out)
+}
+
+/// Lints every source file in the workspace at `root` — both phases.
 ///
 /// Diagnostics come back sorted by (file, line, col, rule); the file
 /// list is sorted too, so two runs over the same tree are
 /// byte-identical.
 pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
     let external = external_crates(root)?;
-    let files = workspace_files(root)?;
-    let mut diagnostics = Vec::new();
-    for rel in &files {
-        let source = fs::read_to_string(root.join(rel))?;
-        diagnostics.extend(lint_file(rel, &source, &external));
-    }
-    Ok(LintReport { files, diagnostics })
+    let sources = load_sources(root)?;
+    let deps = crate_deps(root)?;
+    Ok(lint_sources(&sources, &external, &deps))
+}
+
+/// Builds (only) the resolved workspace call graph at `root` — the
+/// `--graph-json` debugging surface.
+pub fn lint_workspace_graph(root: &Path) -> io::Result<graph::CallGraph> {
+    let sources = load_sources(root)?;
+    let lexed: Vec<_> = sources
+        .iter()
+        .map(|f| crate::lexer::lex(&f.source))
+        .collect();
+    let masks: Vec<_> = lexed.iter().map(|l| rules::test_mask(&l.tokens)).collect();
+    let gfiles: Vec<graph::GraphFile> = sources
+        .iter()
+        .zip(lexed.iter().zip(masks.iter()))
+        .map(|(f, (l, m))| graph::GraphFile {
+            path: &f.path,
+            crate_name: &f.crate_name,
+            kind: crate::classify(&f.path),
+            tokens: &l.tokens,
+            mask: m,
+        })
+        .collect();
+    Ok(graph::CallGraph::build(&gfiles, &crate_deps(root)?))
 }

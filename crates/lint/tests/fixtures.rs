@@ -10,16 +10,40 @@
 use std::fs;
 use std::path::Path;
 
-use qccd_lint::{lint_file, Severity, RULES};
+use qccd_lint::{crate_name_of, lint_file, lint_sources, Severity, SourceFile, RULES};
 
-fn lint_fixture(name: &str, virtual_path: &str) -> Vec<String> {
+fn fixture_source(name: &str) -> String {
     let path = Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("tests/fixtures")
         .join(name);
-    let source = fs::read_to_string(&path).expect("fixture readable");
+    fs::read_to_string(&path).expect("fixture readable")
+}
+
+fn lint_fixture(name: &str, virtual_path: &str) -> Vec<String> {
+    let source = fixture_source(name);
     // A representative external set: one workspace crate, one vendored.
     let external = vec!["qccd".to_owned(), "serde".to_owned()];
     lint_file(virtual_path, &source, &external)
+        .into_iter()
+        .map(|d| d.render())
+        .collect()
+}
+
+/// Lints several fixtures as one multi-crate workspace — how the
+/// cross-file taint rules (engine-panic across a crate boundary) are
+/// exercised.
+fn lint_fixtures(pairs: &[(&str, &str)]) -> Vec<String> {
+    let files: Vec<SourceFile> = pairs
+        .iter()
+        .map(|(name, virtual_path)| SourceFile {
+            path: (*virtual_path).to_owned(),
+            source: fixture_source(name),
+            crate_name: crate_name_of(virtual_path),
+        })
+        .collect();
+    let external = vec!["qccd".to_owned(), "serde".to_owned()];
+    lint_sources(&files, &external, &[])
+        .diagnostics
         .into_iter()
         .map(|d| d.render())
         .collect()
@@ -252,8 +276,145 @@ fn unused_suppression_clean_fixture_is_quiet_when_allow_is_used() {
 }
 
 #[test]
+fn test_mask_hygiene_fixture_flags_cross_mask_borrowing() {
+    assert_eq!(
+        lint_fixture("test_mask_hygiene_bad.rs", "crates/sim/src/fixture.rs"),
+        vec![
+            "crates/sim/src/fixture.rs:9:23 [test-mask-hygiene] `use` path reaches into \
+             a `tests` module: shared test helpers must live in a non-test module or a \
+             tests/ support file, not be borrowed across `#[cfg(test)]` masks"
+                .to_owned(),
+        ]
+    );
+    // Only library files are in scope: a tests/ support file importing
+    // from a tests module is exactly where such helpers belong.
+    assert_eq!(
+        lint_fixture("test_mask_hygiene_bad.rs", "crates/sim/tests/fixture.rs"),
+        Vec::<String>::new()
+    );
+}
+
+#[test]
+fn test_mask_hygiene_clean_fixture_is_quiet() {
+    assert_eq!(
+        lint_fixture("test_mask_hygiene_clean.rs", "crates/sim/src/fixture.rs"),
+        Vec::<String>::new()
+    );
+}
+
+#[test]
+fn golden_path_purity_fixture_pins_the_taint_trace() {
+    assert_eq!(
+        lint_fixture(
+            "golden_path_purity_bad.rs",
+            "crates/core/src/engine/fixture.rs"
+        ),
+        vec![
+            "crates/core/src/engine/fixture.rs:12:5 [golden-path-purity] `println!` on \
+             the golden path: artifact sink reaches it via \
+             qccd::engine::fixture::CsvSink::emit → qccd::engine::fixture::render_row; \
+             emit paths must stay pure — no prints or ambient state may interleave with \
+             artifact bytes"
+                .to_owned(),
+        ]
+    );
+}
+
+#[test]
+fn golden_path_purity_clean_fixture_permits_prints_off_the_sink_path() {
+    assert_eq!(
+        lint_fixture(
+            "golden_path_purity_clean.rs",
+            "crates/core/src/engine/fixture.rs"
+        ),
+        Vec::<String>::new()
+    );
+}
+
+#[test]
+fn sort_stability_fixture_pins_the_dataflow_trace() {
+    assert_eq!(
+        lint_fixture("sort_stability_bad.rs", "crates/sim/src/fixture.rs"),
+        vec![
+            "crates/sim/src/fixture.rs:9:12 [sort-stability] `.sort_unstable_by()` feeds \
+             an artifact sink via qccd_sim::fixture::rows → \
+             qccd_sim::fixture::canonical_float; ties are platform-dependent exactly \
+             where ordering becomes output bytes — use a stable sort with a total key"
+                .to_owned(),
+        ]
+    );
+}
+
+#[test]
+fn sort_stability_clean_fixture_accepts_stable_total_key_sorts() {
+    assert_eq!(
+        lint_fixture("sort_stability_clean.rs", "crates/sim/src/fixture.rs"),
+        Vec::<String>::new()
+    );
+}
+
+#[test]
+fn engine_panic_fixture_escalates_across_the_crate_boundary() {
+    // The same site carries both tiers: the advisory phase-1 finding
+    // and the deny-tier escalation with the cross-crate taint trace.
+    assert_eq!(
+        lint_fixtures(&[
+            ("engine_panic_entry.rs", "crates/core/src/engine/fixture.rs"),
+            ("engine_panic_bad.rs", "crates/compiler/src/fixture.rs"),
+        ]),
+        vec![
+            "crates/compiler/src/fixture.rs:4:10 [engine-panic] `.expect()` is reachable \
+             from the engine via qccd::engine::fixture::run_jobs → \
+             qccd_compiler::fixture::collect_slot; panic-discipline is deny-tier on \
+             engine paths (a panic on an engine thread aborts the whole sweep) — \
+             propagate the error"
+                .to_owned(),
+            "crates/compiler/src/fixture.rs:4:10 [panic-discipline] `.expect()` panics \
+             on the error path in library code; prefer propagating the error (a panic \
+             on an engine thread aborts the whole sweep)"
+                .to_owned(),
+        ]
+    );
+}
+
+#[test]
+fn engine_panic_clean_fixture_propagates_and_is_quiet() {
+    assert_eq!(
+        lint_fixtures(&[
+            ("engine_panic_entry.rs", "crates/core/src/engine/fixture.rs"),
+            ("engine_panic_clean.rs", "crates/compiler/src/fixture.rs"),
+        ]),
+        Vec::<String>::new()
+    );
+}
+
+#[test]
+fn fix_fixture_pair_is_pinned_byte_for_byte_and_idempotent() {
+    let before = fixture_source("fix_before.rs");
+    let after = fixture_source("fix_after.rs");
+    let external = vec!["qccd".to_owned(), "serde".to_owned()];
+
+    let diags = lint_file("crates/circuit/src/fixture.rs", &before, &external);
+    let (fixed, annotated) = qccd_lint::fix::fix_source(&before, &diags);
+    assert_eq!(annotated, 1);
+    assert_eq!(fixed, after);
+
+    // Second pass over the fixed source: the appended allow suppresses
+    // the advisory, so --fix is a byte-identical no-op.
+    let diags = lint_file("crates/circuit/src/fixture.rs", &after, &external);
+    assert_eq!(diags, Vec::new());
+    let (fixed_again, annotated) = qccd_lint::fix::fix_source(&after, &diags);
+    assert_eq!(annotated, 0);
+    assert_eq!(fixed_again, after);
+}
+
+#[test]
 fn rule_registry_is_complete_and_unique() {
     assert!(RULES.len() >= 6, "ISSUE 9 requires at least six rules");
+    assert!(
+        RULES.len() >= 12,
+        "ISSUE 10 grows the registry to twelve rules"
+    );
     for (i, a) in RULES.iter().enumerate() {
         assert!(
             RULES[i + 1..].iter().all(|b| b.id != a.id),

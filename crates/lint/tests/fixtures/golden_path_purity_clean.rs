@@ -1,0 +1,17 @@
+// Clean twin: the sink path is pure; commentary lives in a function
+// the sink never reaches, which purity does not police.
+pub struct CsvSink;
+
+impl ArtifactSink for CsvSink {
+    fn emit(&mut self) {
+        render_row();
+    }
+}
+
+fn render_row() -> String {
+    String::from("row")
+}
+
+pub fn narrate_progress() {
+    println!("progress");
+}

@@ -1,0 +1,6 @@
+mod render;
+mod util;
+
+pub fn top() -> String {
+    render::table()
+}

@@ -1,0 +1,3 @@
+pub fn table() -> String {
+    crate::util::pad("cell")
+}

@@ -1,0 +1,3 @@
+pub fn pad(s: &str) -> String {
+    format!("{s} ")
+}

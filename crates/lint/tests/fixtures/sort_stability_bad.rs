@@ -1,0 +1,13 @@
+// Violation: an order-unstable sort in a function that feeds the
+// canonical float formatter — equal keys may reorder across platforms
+// exactly where ordering becomes output bytes.
+pub fn canonical_float(x: f64) -> f64 {
+    x
+}
+
+pub fn rows(values: &mut [f64]) {
+    values.sort_unstable_by(|a, b| a.total_cmp(b));
+    for v in values.iter() {
+        canonical_float(*v);
+    }
+}

@@ -1,0 +1,11 @@
+// Clean twin: a stable sort with a total key on the same output path.
+pub fn canonical_float(x: f64) -> f64 {
+    x
+}
+
+pub fn rows(values: &mut Vec<f64>) {
+    values.sort_by(|a, b| a.total_cmp(b));
+    for v in values.iter() {
+        canonical_float(*v);
+    }
+}

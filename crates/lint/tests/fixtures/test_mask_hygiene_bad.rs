@@ -1,0 +1,15 @@
+// Violation: a `#[cfg(test)]` module borrowing a helper out of
+// another module's `tests` submodule.
+pub fn live() -> u32 {
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::other::tests::shared_helper;
+
+    #[test]
+    fn t() {
+        assert_eq!(super::live(), shared_helper());
+    }
+}

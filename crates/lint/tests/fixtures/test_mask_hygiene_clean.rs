@@ -1,0 +1,14 @@
+// Clean twin: the test module imports its parent's items only.
+pub fn live() -> u32 {
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t() {
+        assert_eq!(live(), 1);
+    }
+}

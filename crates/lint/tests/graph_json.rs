@@ -1,0 +1,35 @@
+//! Pins the `--graph-json` surface byte-for-byte over the committed
+//! two-module fixture tree (`tests/fixtures/graph_tree/`): function
+//! order is (file, position), edges are sorted caller → callee pairs,
+//! and module paths come from file paths plus `mod` declarations.
+
+use std::path::Path;
+
+use qccd_lint::lint_workspace_graph;
+
+const EXPECTED: &str = r#"{
+  "functions": [
+    {"qual": "mini::top", "file": "src/lib.rs", "line": 4, "test": false},
+    {"qual": "mini::render::table", "file": "src/render.rs", "line": 1, "test": false},
+    {"qual": "mini::util::pad", "file": "src/util.rs", "line": 1, "test": false}
+  ],
+  "edges": [
+    {"from": "mini::render::table", "to": "mini::util::pad"},
+    {"from": "mini::top", "to": "mini::render::table"}
+  ]
+}"#;
+
+#[test]
+fn graph_json_for_the_two_module_fixture_tree_is_pinned() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/graph_tree");
+    let graph = lint_workspace_graph(&root).expect("fixture tree readable");
+    assert_eq!(graph.to_json(), EXPECTED);
+}
+
+#[test]
+fn graph_json_is_stable_across_repeated_builds() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/graph_tree");
+    let a = lint_workspace_graph(&root).expect("fixture tree readable");
+    let b = lint_workspace_graph(&root).expect("fixture tree readable");
+    assert_eq!(a.to_json(), b.to_json());
+}
